@@ -1,0 +1,172 @@
+// Command sfexp regenerates the paper's tables and figures. Each experiment
+// prints one or more aligned text tables (stats.Series) whose rows are the
+// paper's data points; EXPERIMENTS.md records a full run against the
+// published results.
+//
+// Usage:
+//
+//	sfexp -exp fig5|fig9a|fig9b|fig10|fig11|fig12a|fig12b|table2|bisect|ablate|all [-quick]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "all", "experiment id (fig5, fig9a, fig9b, fig10, fig11, fig12a, fig12b, table2, bisect, placement, ablate, all)")
+		quick = flag.Bool("quick", false, "reduced simulation budget for smoke runs")
+		seed  = flag.Int64("seed", 1, "seed")
+	)
+	flag.Parse()
+
+	sc := experiments.DefaultSimScale()
+	wc := experiments.DefaultWorkloadConfig()
+	fig5Seeds, fig5Sources := 5, 0
+	fig9aSources := 0
+	fig9bOps := 2000
+	fig10Scales := experiments.Fig10Scales
+	fig11N := 64
+	if *quick {
+		sc = experiments.QuickSimScale()
+		wc = experiments.WorkloadConfig{N: 32, Ops: 1000, Sockets: 2, Window: 8, MaxCycles: 10_000_000, Seed: *seed}
+		fig5Seeds, fig5Sources = 2, 48
+		fig9aSources = 48
+		fig9bOps = 600
+		fig10Scales = []int{16, 64}
+		fig11N = 32
+	}
+
+	run := func(name string, fn func() error) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		start := time.Now()
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "sfexp %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("-- %s done in %s --\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	print := func(series ...*stats.Series) {
+		for _, s := range series {
+			fmt.Println(s)
+		}
+	}
+
+	run("fig5", func() error {
+		s, err := experiments.Fig5(nil, fig5Seeds, fig5Sources)
+		if err == nil {
+			print(s)
+		}
+		return err
+	})
+	run("fig9a", func() error {
+		s, err := experiments.Fig9a(nil, fig9aSources, *seed)
+		if err == nil {
+			print(s)
+		}
+		return err
+	})
+	run("table2", func() error {
+		s, err := experiments.Table2(nil)
+		if err != nil {
+			return err
+		}
+		b, err := experiments.ConnectionBound(nil, *seed)
+		if err != nil {
+			return err
+		}
+		print(s, b)
+		return nil
+	})
+	run("bisect", func() error {
+		s, err := experiments.Bisection(nil, 10, *seed)
+		if err == nil {
+			print(s)
+		}
+		return err
+	})
+	run("fig10", func() error {
+		series, err := experiments.Fig10(fig10Scales, nil, sc, *seed)
+		if err == nil {
+			print(series...)
+		}
+		return err
+	})
+	run("fig11", func() error {
+		for _, pattern := range []string{"uniform", "tornado", "hotspot"} {
+			s, err := experiments.Fig11(fig11N, pattern, nil, sc, *seed)
+			if err != nil {
+				return err
+			}
+			print(s)
+		}
+		return nil
+	})
+	run("fig12a", func() error {
+		t, _, err := experiments.Fig12(trace.WorkloadNames, wc)
+		if err == nil {
+			print(t)
+		}
+		return err
+	})
+	run("fig12b", func() error {
+		_, e, err := experiments.Fig12(trace.WorkloadNames, wc)
+		if err == nil {
+			print(e)
+		}
+		return err
+	})
+	run("fig9b", func() error {
+		s, err := experiments.Fig9b(wc.N, nil, nil, fig9bOps, *seed)
+		if err == nil {
+			print(s)
+		}
+		return err
+	})
+	run("placement", func() error {
+		s, err := experiments.ProcessorPlacement(64, 0.1, sc, *seed)
+		if err != nil {
+			return err
+		}
+		q, err := experiments.QuantizationStudy(256, nil, 600, *seed)
+		if err != nil {
+			return err
+		}
+		m, err := experiments.MetaCubeStudy(128, nil, 0.05, sc, *seed)
+		if err != nil {
+			return err
+		}
+		print(s, q, m)
+		return nil
+	})
+	run("ablate", func() error {
+		a, err := experiments.AblationUniBidi(nil, sc, *seed)
+		if err != nil {
+			return err
+		}
+		b, err := experiments.AblationLookahead(nil, *seed)
+		if err != nil {
+			return err
+		}
+		c, err := experiments.AblationShortcuts(128, nil, *seed)
+		if err != nil {
+			return err
+		}
+		d, err := experiments.AblationAdaptiveThreshold(64, 0.3, nil, sc, *seed)
+		if err != nil {
+			return err
+		}
+		print(a, b, c, d)
+		return nil
+	})
+}

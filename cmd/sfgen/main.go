@@ -1,0 +1,94 @@
+// Command sfgen generates a String Figure topology and prints its
+// structure: virtual-space coordinates, ring/extra/shortcut wires, degree
+// and path-length statistics, or a Graphviz DOT rendering.
+//
+// Usage:
+//
+//	sfgen -n 64 [-ports 8] [-seed 1] [-uni] [-noshortcuts] [-format summary|links|dot]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"repro/internal/topology"
+)
+
+func main() {
+	var (
+		n           = flag.Int("n", 64, "number of memory nodes")
+		ports       = flag.Int("ports", 0, "router ports (0 = paper default for the scale)")
+		seed        = flag.Int64("seed", 1, "topology seed")
+		uni         = flag.Bool("uni", false, "strict uni-directional wires (ablation variant)")
+		noShortcuts = flag.Bool("noshortcuts", false, "disable shortcut wires (S2-style)")
+		format      = flag.String("format", "summary", "output: summary, links, or dot")
+	)
+	flag.Parse()
+
+	p := *ports
+	if p == 0 {
+		p = topology.PortsForN(*n)
+	}
+	sf, err := topology.NewStringFigure(topology.Config{
+		N:             *n,
+		Ports:         p,
+		Seed:          *seed,
+		Bidirectional: !*uni,
+		Shortcuts:     !*noShortcuts,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sfgen:", err)
+		os.Exit(1)
+	}
+
+	switch *format {
+	case "summary":
+		printSummary(sf)
+	case "links":
+		printLinks(sf)
+	case "dot":
+		printDot(sf)
+	default:
+		fmt.Fprintf(os.Stderr, "sfgen: unknown format %q\n", *format)
+		os.Exit(1)
+	}
+}
+
+func printSummary(sf *topology.StringFigure) {
+	g := sf.Graph()
+	st := g.SampledPathLengths(min(sf.Cfg.N, 128), rand.New(rand.NewSource(1)))
+	fmt.Printf("String Figure topology: N=%d ports=%d spaces=%d seed=%d bidirectional=%v\n",
+		sf.Cfg.N, sf.Cfg.Ports, sf.Spaces, sf.Cfg.Seed, sf.Cfg.Bidirectional)
+	fmt.Printf("wires: %d ring, %d extra, %d shortcut (inactive at full scale)\n",
+		len(sf.Rings), len(sf.Extras), len(sf.Shortcuts))
+	fmt.Printf("max connections per node: %d\n", sf.MaxConnectionsPerNode())
+	fmt.Printf("strongly connected: %v\n", g.StronglyConnected())
+	fmt.Printf("shortest paths: mean=%.3f p10=%d p90=%d diameter=%d\n",
+		st.Mean, st.P10, st.P90, st.Diameter)
+}
+
+func printLinks(sf *topology.StringFigure) {
+	links := sf.AllLinks()
+	topology.SortLinks(links)
+	for _, l := range links {
+		space := "-"
+		if l.Space >= 0 {
+			space = fmt.Sprint(l.Space)
+		}
+		fmt.Printf("%4d -> %4d  type=%-8s space=%s\n", l.From, l.To, l.Type, space)
+	}
+}
+
+func printDot(sf *topology.StringFigure) {
+	fmt.Println("digraph stringfigure {")
+	fmt.Println("  rankdir=LR; node [shape=circle];")
+	for _, l := range sf.BaseLinks() {
+		fmt.Printf("  %d -> %d;\n", l.From, l.To)
+	}
+	for _, l := range sf.Shortcuts {
+		fmt.Printf("  %d -> %d [style=dashed, color=red];\n", l.From, l.To)
+	}
+	fmt.Println("}")
+}

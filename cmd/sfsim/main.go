@@ -1,0 +1,74 @@
+// Command sfsim runs one flit-level network simulation on any of the
+// evaluated designs and prints latency, throughput and energy metrics.
+//
+// Usage:
+//
+//	sfsim -design sf -n 64 -pattern uniform -rate 0.2 [-cycles 4000] [-warmup 1500] [-flits 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"repro/internal/experiments"
+	"repro/internal/netsim"
+	"repro/internal/traffic"
+)
+
+func main() {
+	var (
+		design  = flag.String("design", "sf", "design: dm, odm, fb, afb, s2, sf")
+		n       = flag.Int("n", 64, "memory nodes")
+		pattern = flag.String("pattern", "uniform", "traffic pattern (Table III)")
+		rate    = flag.Float64("rate", 0.2, "injection rate (packets/node/cycle)")
+		warmup  = flag.Int64("warmup", 1500, "warm-up cycles")
+		cycles  = flag.Int64("cycles", 4000, "measured cycles")
+		flits   = flag.Int("flits", 1, "packet size in flits")
+		seed    = flag.Int64("seed", 1, "seed")
+	)
+	flag.Parse()
+
+	sut, err := experiments.BuildSUT(*design, *n, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	pat, err := traffic.NewPattern(*pattern, sut.N)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := sut.NetCfg(*seed)
+	cfg.PacketFlits = *flits
+	sim, err := netsim.New(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	sim.SetPattern(*rate, func(src int, rng *rand.Rand) (int, bool) {
+		dst, ok := pat(src%sut.N, rng)
+		if !ok {
+			return 0, false
+		}
+		r := sut.NodeRouter(dst)
+		return r, r != src
+	})
+	res := sim.RunMeasured(*warmup, *cycles)
+
+	fmt.Printf("design=%s N=%d routers=%d ports=%d pattern=%s rate=%.2f\n",
+		sut.Name, sut.N, sut.Routers, sut.Ports, *pattern, *rate)
+	fmt.Printf("injected:   %d packets\n", res.Injected)
+	fmt.Printf("delivered:  %d packets (%.1f%%)\n", res.Delivered, 100*res.DeliveredFraction())
+	fmt.Printf("latency:    mean %.1f ns, p50 %.1f ns, p90 %.1f ns\n",
+		res.AvgLatencyNs(),
+		float64(res.LatencyHist.Percentile(0.5))*netsim.CycleNs,
+		float64(res.LatencyHist.Percentile(0.9))*netsim.CycleNs)
+	fmt.Printf("hops:       mean %.2f\n", res.AvgHops())
+	fmt.Printf("throughput: %.4f flits/node/cycle\n", res.ThroughputFlitsPerNodeCycle())
+	fmt.Printf("energy:     %.1f nJ network dynamic\n", float64(res.FlitHops)*128*5/1e3)
+	fmt.Printf("escapes:    %d, drops: %d, deadlocked: %v\n", res.Escaped, res.Dropped, res.Deadlocked)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sfsim:", err)
+	os.Exit(1)
+}

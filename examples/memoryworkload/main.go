@@ -1,0 +1,50 @@
+// Memoryworkload: run a full closed-loop memory-system co-simulation — the
+// Figure 12 pipeline — on one workload: synthesize a Table IV trace through
+// the cache hierarchy, attach four CPU sockets to a String Figure network of
+// DRAM-timed memory nodes, and report IPC, latency and dynamic energy.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/experiments"
+	"repro/internal/trace"
+)
+
+func main() {
+	wc := experiments.WorkloadConfig{
+		N:         64,
+		Ops:       3000,
+		Sockets:   4,
+		Window:    16,
+		Threads:   4, // multi-threaded sockets: memory-bound replay
+		MaxCycles: 30_000_000,
+		Seed:      11,
+	}
+	fmt.Printf("memory system: %d nodes x 8 GB, %d CPU sockets, window %d reads/socket\n\n",
+		wc.N, wc.Sockets, wc.Window)
+
+	fmt.Printf("%-11s %10s %10s %12s %12s %12s\n",
+		"workload", "IPC", "pkt ns", "net uJ", "dram uJ", "DRAM ops")
+	for _, wl := range trace.WorkloadNames {
+		res, err := experiments.RunWorkload("sf", wl, wc)
+		if err != nil {
+			log.Fatalf("%s: %v", wl, err)
+		}
+		fmt.Printf("%-11s %10.3f %10.1f %12.2f %12.2f %12d\n",
+			wl, res.IPC, res.AvgPktCycles*3.2,
+			res.NetworkPJ/1e6, res.DRAMPJ/1e6, res.DRAMAccesses)
+	}
+
+	// Compare String Figure against the optimized mesh on one workload.
+	fmt.Println()
+	for _, design := range []string{"dm", "odm", "s2", "sf"} {
+		res, err := experiments.RunWorkload(design, "redis", wc)
+		if err != nil {
+			log.Fatalf("%s: %v", design, err)
+		}
+		fmt.Printf("redis on %-4s: IPC %.3f, energy %.2f uJ, %d cycles\n",
+			design, res.IPC, res.TotalPJ/1e6, res.Cycles)
+	}
+}

@@ -1,0 +1,52 @@
+// Trafficsweep: characterize a String Figure network under every Table III
+// synthetic traffic pattern, sweeping the injection rate up to saturation —
+// a miniature of the paper's Figure 10/11 methodology.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	stringfigure "repro"
+)
+
+func main() {
+	const n = 64
+	net, err := stringfigure.New(stringfigure.Options{Nodes: n, Seed: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d-node String Figure network, %d ports/router\n\n", n, net.Ports())
+
+	patterns := []string{"uniform", "tornado", "hotspot", "opposite", "neighbor", "complement", "partition2"}
+	rates := []float64{0.05, 0.15, 0.30, 0.50}
+
+	fmt.Printf("%-12s", "pattern")
+	for _, r := range rates {
+		fmt.Printf("  @%3.0f%% lat(ns)", r*100)
+	}
+	fmt.Println()
+	for _, p := range patterns {
+		fmt.Printf("%-12s", p)
+		for _, rate := range rates {
+			res, err := net.SimulatePattern(p, rate, 800, 2500)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if res.Deadlocked || res.Delivered == 0 ||
+				float64(res.Delivered) < 0.7*float64(res.Injected) {
+				fmt.Printf("  %12s", "saturated")
+				continue
+			}
+			fmt.Printf("  %12.1f", res.AvgLatencyNs)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println()
+	sat, err := net.SaturationRate()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("uniform-traffic saturation point: %.0f%% injection rate (single-flit packets)\n", sat*100)
+}

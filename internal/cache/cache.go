@@ -1,0 +1,172 @@
+// Package cache models the three-level cache hierarchy the paper's trace
+// generator uses to filter raw memory accesses before they reach the memory
+// network (Section V): 32 KB L1, 2 MB L2, 32 MB L3 with associativities 4,
+// 8 and 16, 64-byte lines, LRU replacement, and write-back write-allocate
+// semantics. Only L3 misses and write-backs become memory-network traffic.
+package cache
+
+// Access types.
+type AccessType int
+
+const (
+	Read AccessType = iota
+	Write
+)
+
+// Result describes what one access produced at the memory side.
+type Result struct {
+	// MemRead is set when the access missed all levels and a line must be
+	// fetched from memory.
+	MemRead bool
+	// WritebackAddr is the address of a dirty line evicted to memory, valid
+	// when HasWriteback is set.
+	WritebackAddr uint64
+	HasWriteback  bool
+	// HitLevel is 1, 2 or 3 for hits, 0 for full misses.
+	HitLevel int
+}
+
+// LineSize is the cache line size in bytes (Table I: 64 B).
+const LineSize = 64
+
+// set is one associative set with LRU order (index 0 = MRU).
+type set struct {
+	tags  []uint64
+	dirty []bool
+	valid []bool
+}
+
+// level is one cache level.
+type level struct {
+	sets    []set
+	assoc   int
+	setMask uint64
+}
+
+func newLevel(sizeBytes, assoc int) *level {
+	lines := sizeBytes / LineSize
+	nsets := lines / assoc
+	if nsets < 1 {
+		nsets = 1
+	}
+	// Index with a mask, so the set count must be a power of two; round
+	// down (slightly shrinking unusual configurations).
+	for nsets&(nsets-1) != 0 {
+		nsets &= nsets - 1
+	}
+	l := &level{assoc: assoc, setMask: uint64(nsets - 1)}
+	l.sets = make([]set, nsets)
+	for i := range l.sets {
+		l.sets[i] = set{
+			tags:  make([]uint64, assoc),
+			dirty: make([]bool, assoc),
+			valid: make([]bool, assoc),
+		}
+	}
+	return l
+}
+
+// lookup probes the level; on hit the line moves to MRU and dirty is ORed.
+func (l *level) lookup(lineAddr uint64, write bool) bool {
+	s := &l.sets[lineAddr&l.setMask]
+	for i := 0; i < l.assoc; i++ {
+		if s.valid[i] && s.tags[i] == lineAddr {
+			// Move to MRU.
+			tag, d := s.tags[i], s.dirty[i]
+			copy(s.tags[1:i+1], s.tags[0:i])
+			copy(s.dirty[1:i+1], s.dirty[0:i])
+			copy(s.valid[1:i+1], s.valid[0:i])
+			s.tags[0], s.dirty[0], s.valid[0] = tag, d || write, true
+			return true
+		}
+	}
+	return false
+}
+
+// insert installs the line at MRU, returning any evicted dirty line.
+func (l *level) insert(lineAddr uint64, dirty bool) (evicted uint64, wasDirty bool) {
+	s := &l.sets[lineAddr&l.setMask]
+	last := l.assoc - 1
+	if s.valid[last] && s.dirty[last] {
+		evicted, wasDirty = s.tags[last], true
+	}
+	copy(s.tags[1:], s.tags[:last])
+	copy(s.dirty[1:], s.dirty[:last])
+	copy(s.valid[1:], s.valid[:last])
+	s.tags[0], s.dirty[0], s.valid[0] = lineAddr, dirty, true
+	return evicted, wasDirty
+}
+
+// Hierarchy is the paper's three-level hierarchy. It is not safe for
+// concurrent use; the trace generator drives it from one goroutine.
+type Hierarchy struct {
+	l1, l2, l3 *level
+	// Stats
+	Accesses  int64
+	HitsL1    int64
+	HitsL2    int64
+	HitsL3    int64
+	Misses    int64
+	Writeback int64
+}
+
+// NewPaperHierarchy builds the Section V configuration: 32 KB/4-way L1,
+// 2 MB/8-way L2, 32 MB/16-way L3.
+func NewPaperHierarchy() *Hierarchy {
+	return New(32<<10, 4, 2<<20, 8, 32<<20, 16)
+}
+
+// New builds a custom three-level hierarchy.
+func New(l1Size, l1Assoc, l2Size, l2Assoc, l3Size, l3Assoc int) *Hierarchy {
+	return &Hierarchy{
+		l1: newLevel(l1Size, l1Assoc),
+		l2: newLevel(l2Size, l2Assoc),
+		l3: newLevel(l3Size, l3Assoc),
+	}
+}
+
+// Access runs one byte-address access through the hierarchy and reports the
+// resulting memory traffic. Inclusive allocation: misses install the line in
+// every level; dirty evictions from L3 become write-backs to memory.
+// (Dirty evictions from L1/L2 are absorbed by the lower level in this
+// model, which is the standard simplification for network-traffic studies:
+// only the L3<->memory boundary generates packets.)
+func (h *Hierarchy) Access(addr uint64, t AccessType) Result {
+	h.Accesses++
+	line := addr / LineSize
+	write := t == Write
+	if h.l1.lookup(line, write) {
+		h.HitsL1++
+		return Result{HitLevel: 1}
+	}
+	if h.l2.lookup(line, write) {
+		h.HitsL2++
+		h.l1.insert(line, write)
+		return Result{HitLevel: 2}
+	}
+	if h.l3.lookup(line, write) {
+		h.HitsL3++
+		h.l1.insert(line, write)
+		h.l2.insert(line, write)
+		return Result{HitLevel: 3}
+	}
+	// Full miss: fetch from memory, install everywhere.
+	h.Misses++
+	res := Result{MemRead: true}
+	h.l1.insert(line, write)
+	h.l2.insert(line, write)
+	if evicted, wasDirty := h.l3.insert(line, write); wasDirty {
+		h.Writeback++
+		res.HasWriteback = true
+		res.WritebackAddr = evicted * LineSize
+	}
+	return res
+}
+
+// MissRate returns the fraction of accesses that reached memory.
+func (h *Hierarchy) MissRate() float64 {
+	if h.Accesses == 0 {
+		return 0
+	}
+	return float64(h.Misses) / float64(h.Accesses)
+}

@@ -1,0 +1,128 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestColdMissThenHit(t *testing.T) {
+	h := NewPaperHierarchy()
+	r := h.Access(0x1000, Read)
+	if !r.MemRead || r.HitLevel != 0 {
+		t.Fatalf("first access should miss to memory, got %+v", r)
+	}
+	r = h.Access(0x1000, Read)
+	if r.MemRead || r.HitLevel != 1 {
+		t.Fatalf("second access should hit L1, got %+v", r)
+	}
+	// Same line, different byte.
+	r = h.Access(0x1004, Read)
+	if r.HitLevel != 1 {
+		t.Fatalf("same-line access should hit L1, got %+v", r)
+	}
+	if h.Accesses != 3 || h.Misses != 1 || h.HitsL1 != 2 {
+		t.Errorf("stats: %+v", *h)
+	}
+}
+
+func TestLRUEvictionInL1(t *testing.T) {
+	h := NewPaperHierarchy()
+	// L1: 32KB/4-way/64B = 128 sets. Fill one set with 4 lines, then a 5th
+	// evicts the LRU; the evicted line should then hit in L2.
+	set := uint64(7)
+	addr := func(way uint64) uint64 { return (way*128 + set) * 64 }
+	for w := uint64(0); w < 4; w++ {
+		h.Access(addr(w), Read)
+	}
+	h.Access(addr(4), Read) // evicts addr(0) from L1
+	r := h.Access(addr(0), Read)
+	if r.HitLevel != 2 {
+		t.Fatalf("evicted line should hit L2, got %+v", r)
+	}
+}
+
+func TestWritebackOnDirtyEviction(t *testing.T) {
+	// A tiny custom hierarchy (direct-mapped-ish) forces evictions fast.
+	h := New(64*4, 1, 64*8, 1, 64*16, 1) // 4/8/16 sets, 1-way
+	h.Access(0x0, Write)
+	// Writing a conflicting line in the same L3 set (16 sets * 64B span).
+	conflict := uint64(16 * 64)
+	var sawWB bool
+	for i := 0; i < 4; i++ {
+		r := h.Access(conflict*uint64(i+1), Write)
+		if r.HasWriteback {
+			sawWB = true
+			if r.WritebackAddr%LineSize != 0 {
+				t.Errorf("writeback address %x not line aligned", r.WritebackAddr)
+			}
+		}
+	}
+	if !sawWB {
+		t.Error("dirty eviction never produced a writeback")
+	}
+	if h.Writeback == 0 {
+		t.Error("writeback counter is zero")
+	}
+}
+
+func TestReadEvictionIsSilent(t *testing.T) {
+	h := New(64*4, 1, 64*8, 1, 64*16, 1)
+	conflict := uint64(16 * 64)
+	for i := 0; i < 40; i++ {
+		r := h.Access(conflict*uint64(i), Read)
+		if r.HasWriteback {
+			t.Fatal("clean eviction produced a writeback")
+		}
+	}
+}
+
+func TestMissRateSequentialVsRandom(t *testing.T) {
+	// A working set that fits L3 should have near-zero steady-state miss
+	// rate; a working set far larger should miss often.
+	fits := NewPaperHierarchy()
+	for pass := 0; pass < 2; pass++ {
+		for a := uint64(0); a < 16<<20; a += 64 {
+			fits.Access(a, Read)
+		}
+	}
+	// Second pass over 16MB (fits in 32MB L3) should be all hits; overall
+	// miss rate ~0.5.
+	if mr := fits.MissRate(); mr > 0.55 {
+		t.Errorf("fitting working set miss rate %v, want ~0.5", mr)
+	}
+
+	huge := NewPaperHierarchy()
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200000; i++ {
+		huge.Access(uint64(rng.Int63n(4<<30))&^63, Read)
+	}
+	if mr := huge.MissRate(); mr < 0.9 {
+		t.Errorf("4GB random working set miss rate %v, want > 0.9", mr)
+	}
+}
+
+func TestHitLevels(t *testing.T) {
+	h := NewPaperHierarchy()
+	h.Access(0x40, Read) // miss
+	// Evict from L1 only by touching 4 conflicting L1 lines (L1 has 128
+	// sets; lines 0x40 + k*128*64 share a set).
+	for k := 1; k <= 4; k++ {
+		h.Access(uint64(0x40+k*128*64), Read)
+	}
+	r := h.Access(0x40, Read)
+	if r.HitLevel != 2 && r.HitLevel != 3 {
+		t.Errorf("expected L2/L3 hit after L1 eviction, got %+v", r)
+	}
+}
+
+func TestPowerOfTwoSetRounding(t *testing.T) {
+	// A 3-way 96-line cache rounds its set count down to a power of two
+	// without panicking.
+	h := New(96*64, 3, 2<<20, 8, 32<<20, 16)
+	for a := uint64(0); a < 1<<20; a += 64 {
+		h.Access(a, Read)
+	}
+	if h.Accesses == 0 {
+		t.Fatal("no accesses recorded")
+	}
+}

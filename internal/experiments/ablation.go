@@ -1,0 +1,190 @@
+package experiments
+
+import (
+	"math/rand"
+
+	"repro/internal/netsim"
+	"repro/internal/routing"
+	"repro/internal/stats"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+// AblationUniBidi reproduces the Section VI sensitivity study on uni-
+// versus bi-directional connections: average greedy path length and
+// saturation injection rate for the strict uni-directional variant (one
+// wire per port half, clockwise metric) against the bidirectional default,
+// at equal port count.
+func AblationUniBidi(scales []int, sc SimScale, seed int64) (*stats.Series, error) {
+	if len(scales) == 0 {
+		scales = []int{32, 64, 128, 256}
+	}
+	s := stats.NewSeries("Ablation: uni- vs bi-directional connections",
+		"nodes", "uni_path", "bidi_path", "uni_sat_pct", "bidi_sat_pct")
+	for _, n := range scales {
+		row := []float64{float64(n)}
+		var sats []float64
+		for _, bidi := range []bool{false, true} {
+			sf, err := topology.NewStringFigure(topology.Config{
+				N: n, Ports: topology.PortsForN(n), Seed: seed,
+				Shortcuts: true, Bidirectional: bidi,
+			})
+			if err != nil {
+				return nil, err
+			}
+			st := sf.Graph().SampledPathLengths(min(n, 64), rand.New(rand.NewSource(seed)))
+			row = append(row, st.Mean)
+			pat, err := traffic.NewPattern("uniform", n)
+			if err != nil {
+				return nil, err
+			}
+			sat, err := netsim.FindSaturation(netsim.SaturationConfig{
+				Step: sc.Step, Warmup: sc.Warmup, Measure: sc.Measure,
+			}, func(rate float64) (*netsim.Sim, error) {
+				cfg := netsim.SFConfig(sf, seed)
+				cfg.PacketFlits = 1
+				sim, err := netsim.New(cfg)
+				if err != nil {
+					return nil, err
+				}
+				sim.SetPattern(rate, func(src int, rng *rand.Rand) (int, bool) { return pat(src, rng) })
+				return sim, nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			sats = append(sats, sat*100)
+		}
+		row = append(row, sats...)
+		s.AddRow(row...)
+	}
+	return s, nil
+}
+
+// AblationLookahead measures the value of storing two-hop neighbors in the
+// routing tables (Section III-B's sensitivity study): mean greedy path
+// length with and without the two-hop lookahead.
+func AblationLookahead(scales []int, seed int64) (*stats.Series, error) {
+	if len(scales) == 0 {
+		scales = []int{64, 128, 256, 512}
+	}
+	s := stats.NewSeries("Ablation: 1-hop vs 1+2-hop routing tables",
+		"nodes", "greedy_1hop", "greedy_2hop", "bfs_optimal")
+	for _, n := range scales {
+		sf, err := topology.NewPaperSF(n, seed)
+		if err != nil {
+			return nil, err
+		}
+		with := routing.NewGreediest(sf, 0)
+		without := routing.NewGreediest(sf, 0)
+		without.Lookahead = false
+		rng := rand.New(rand.NewSource(seed))
+		var sumW, sumWo, pairs int
+		var bfsSum float64
+		g := sf.Graph()
+		for trial := 0; trial < 400; trial++ {
+			src, dst := rng.Intn(n), rng.Intn(n)
+			if src == dst {
+				continue
+			}
+			a, ok1 := with.ZeroLoadPathLength(src, dst)
+			b, ok2 := without.ZeroLoadPathLength(src, dst)
+			if !ok1 || !ok2 {
+				continue
+			}
+			d := g.BFS(src)[dst]
+			sumW += a
+			sumWo += b
+			bfsSum += float64(d)
+			pairs++
+		}
+		if pairs == 0 {
+			continue
+		}
+		s.AddRow(float64(n),
+			float64(sumWo)/float64(pairs),
+			float64(sumW)/float64(pairs),
+			bfsSum/float64(pairs))
+	}
+	return s, nil
+}
+
+// AblationShortcuts quantifies what the pre-provisioned shortcut wires buy
+// after down-scaling: mean shortest path over the alive subnetwork with
+// ring healing via shortcuts (SF) versus an S2-style network that merely
+// drops the dead nodes' links (no healing, may disconnect — measured as
+// reachable-pair path length and connectivity fraction).
+func AblationShortcuts(n int, gateFracs []float64, seed int64) (*stats.Series, error) {
+	if len(gateFracs) == 0 {
+		gateFracs = []float64{0.1, 0.2, 0.3, 0.5}
+	}
+	s := stats.NewSeries("Ablation: down-scaling with healing (SF) vs without (S2-style)",
+		"gated_pct", "sf_path", "sf_connected_pct", "s2_path", "s2_connected_pct")
+	for _, frac := range gateFracs {
+		sf, err := topology.NewPaperSF(n, seed)
+		if err != nil {
+			return nil, err
+		}
+		rng := rand.New(rand.NewSource(seed + 3))
+		alive := make([]bool, n)
+		for i := range alive {
+			alive[i] = true
+		}
+		for gated := 0; gated < int(frac*float64(n)); {
+			v := rng.Intn(n)
+			if !alive[v] {
+				continue
+			}
+			alive[v] = false
+			gated++
+		}
+
+		// SF: reconfiguration heals rings via shortcuts/switches.
+		net := reconfigured(sf, alive)
+		sfPath, sfConn := reachableStats(net, alive)
+
+		// S2-style: same dead set, links to dead nodes dropped, nothing
+		// re-linked.
+		raw := sf.Graph().InducedSubgraph(alive)
+		s2Path, s2Conn := reachableStatsGraph(raw, alive)
+
+		s.AddRow(frac*100, sfPath, sfConn*100, s2Path, s2Conn*100)
+	}
+	return s, nil
+}
+
+// AblationAdaptiveThreshold sweeps the adaptive-routing queue threshold
+// (the paper's user-defined 50% default) at a fixed load and reports mean
+// latency.
+func AblationAdaptiveThreshold(n int, rate float64, thresholds []float64, sc SimScale, seed int64) (*stats.Series, error) {
+	if len(thresholds) == 0 {
+		thresholds = []float64{0.125, 0.25, 0.5, 0.75, 1.0}
+	}
+	sf, err := topology.NewPaperSF(n, seed)
+	if err != nil {
+		return nil, err
+	}
+	pat, err := traffic.NewPattern("uniform", n)
+	if err != nil {
+		return nil, err
+	}
+	s := stats.NewSeries("Ablation: adaptive threshold sweep (uniform traffic)",
+		"threshold_pct", "latency_ns")
+	for _, th := range thresholds {
+		cfg := netsim.SFConfig(sf, seed)
+		cfg.PacketFlits = 1
+		cfg.AdaptiveThreshold = th
+		sim, err := netsim.New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		sim.SetPattern(rate, func(src int, rng *rand.Rand) (int, bool) { return pat(src, rng) })
+		res := sim.RunMeasured(sc.Warmup, sc.Measure)
+		lat := res.AvgLatencyNs()
+		if res.Deadlocked || res.Delivered == 0 {
+			lat = 0
+		}
+		s.AddRow(th*100, lat)
+	}
+	return s, nil
+}

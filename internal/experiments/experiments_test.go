@@ -1,0 +1,318 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBuildSUTAllKinds(t *testing.T) {
+	for _, kind := range SUTNames {
+		n := 128
+		sut, err := BuildSUT(kind, n, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if sut.N != n {
+			t.Errorf("%s: N = %d, want %d", kind, sut.N, n)
+		}
+		if sut.Routers < 1 || len(sut.Out) != sut.Routers {
+			t.Errorf("%s: routers %d, out %d", kind, sut.Routers, len(sut.Out))
+		}
+		if !sut.Graph.StronglyConnected() {
+			t.Errorf("%s: not strongly connected", kind)
+		}
+		for v := 0; v < n; v++ {
+			r := sut.NodeRouter(v)
+			if r < 0 || r >= sut.Routers {
+				t.Fatalf("%s: node %d -> invalid router %d", kind, v, r)
+			}
+		}
+		cfg := sut.NetCfg(1)
+		if cfg.Alg == nil {
+			t.Errorf("%s: no routing algorithm", kind)
+		}
+	}
+	if _, err := BuildSUT("nope", 16, 1); err == nil {
+		t.Error("unknown kind should fail")
+	}
+}
+
+func TestODMWidthReasonable(t *testing.T) {
+	w, err := ODMWidth(64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w < 1 || w > 8 {
+		t.Errorf("ODMWidth(64) = %d, want in [1,8]", w)
+	}
+}
+
+func TestFig5Shape(t *testing.T) {
+	s, err := Fig5([]int{50, 100}, 2, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(s.Rows))
+	}
+	for _, row := range s.Rows {
+		jf, s2, sf := row[1], row[2], row[3]
+		if jf <= 0 || s2 <= 0 || sf <= 0 {
+			t.Fatalf("non-positive path length in %v", row)
+		}
+		// SURG claim: SF path lengths within 1.5 hops of Jellyfish.
+		if sf-jf > 1.5 {
+			t.Errorf("SF path %v much worse than Jellyfish %v", sf, jf)
+		}
+	}
+	// Path length grows with N.
+	if s.Rows[1][3] < s.Rows[0][3]-0.2 {
+		t.Errorf("SF path shrank with size: %v -> %v", s.Rows[0][3], s.Rows[1][3])
+	}
+}
+
+func TestFig9aShape(t *testing.T) {
+	s, err := Fig9a([]int{16, 128}, 16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Rows) != 2 {
+		t.Fatalf("rows = %d", len(s.Rows))
+	}
+	// At 128 nodes the mesh should have clearly more hops than SF.
+	row := s.Rows[1]
+	dm, sf := row[1], row[6]
+	if dm <= sf {
+		t.Errorf("DM hops (%v) should exceed SF hops (%v) at 128 nodes", dm, sf)
+	}
+	p10, p90 := row[7], row[8]
+	if p10 > p90 {
+		t.Errorf("P10 %v > P90 %v", p10, p90)
+	}
+	if p90 <= 0 {
+		t.Error("P90 missing")
+	}
+}
+
+func TestBisectionSeries(t *testing.T) {
+	s, err := Bisection([]int{16}, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := s.Rows[0]
+	if row[1] <= 0 || row[2] <= 0 || row[3] <= 0 {
+		t.Errorf("non-positive bandwidths: %v", row)
+	}
+	// SF's random topology should beat the mesh's bisection at 16 nodes.
+	if row[2] < row[1] {
+		t.Errorf("SF bisection %v below mesh %v", row[2], row[1])
+	}
+}
+
+func TestFig10Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	series, err := Fig10([]int{16}, []string{"uniform"}, QuickSimScale(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := series[0].Rows[0]
+	// Every supported design saturates somewhere in (0,100]; unsupported
+	// scales are recorded as 0 (FB/AFB below 128 nodes).
+	for i, v := range row[1:] {
+		if !Supports(SUTNames[i], 16) {
+			if v != 0 {
+				t.Errorf("unsupported design %s has value %v", SUTNames[i], v)
+			}
+			continue
+		}
+		if v <= 0 || v > 100 {
+			t.Errorf("design %s saturation = %v%%", SUTNames[i], v)
+		}
+	}
+}
+
+func TestFig11Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	s, err := Fig11(16, "uniform", []float64{0.05, 0.2}, QuickSimScale(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Rows) != 2 {
+		t.Fatalf("rows = %d", len(s.Rows))
+	}
+	// SF latency at low load must be positive and finite.
+	if s.Rows[0][6] <= 0 {
+		t.Errorf("SF latency missing: %v", s.Rows[0])
+	}
+}
+
+func TestTable2(t *testing.T) {
+	s, err := Table2([]int{128, 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Rows) != len(SUTNames) {
+		t.Fatalf("rows = %d", len(s.Rows))
+	}
+	out := s.String()
+	for _, kind := range SUTNames {
+		if !strings.Contains(out, kind) {
+			t.Errorf("missing design %s in table", kind)
+		}
+	}
+	// FB ports must exceed SF ports at 256.
+	var fbPorts, sfPorts float64
+	for i, label := range s.Labels {
+		if label == "fb" {
+			fbPorts = s.Rows[i][4]
+		}
+		if label == "sf" {
+			sfPorts = s.Rows[i][4]
+		}
+	}
+	if fbPorts <= sfPorts {
+		t.Errorf("FB ports (%v) should exceed SF ports (%v)", fbPorts, sfPorts)
+	}
+}
+
+func TestConnectionBound(t *testing.T) {
+	s, err := ConnectionBound([]int{64}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := s.Rows[0]
+	if row[2] > row[3] {
+		t.Errorf("uni wires %v exceed bound %v", row[2], row[3])
+	}
+}
+
+func TestAblationLookahead(t *testing.T) {
+	s, err := AblationLookahead([]int{64}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := s.Rows[0]
+	oneHop, twoHop, bfs := row[1], row[2], row[3]
+	if twoHop > oneHop {
+		t.Errorf("2-hop tables (%v) worse than 1-hop (%v)", twoHop, oneHop)
+	}
+	if twoHop < bfs-1e-9 {
+		t.Errorf("greedy (%v) beats BFS optimal (%v)?", twoHop, bfs)
+	}
+}
+
+func TestAblationShortcuts(t *testing.T) {
+	s, err := AblationShortcuts(64, []float64{0.3}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := s.Rows[0]
+	sfConn, s2Conn := row[2], row[4]
+	if sfConn < 100 {
+		t.Errorf("healed SF network not fully connected: %v%%", sfConn)
+	}
+	if s2Conn > sfConn {
+		t.Errorf("unhealed network (%v%%) beats healed (%v%%)", s2Conn, sfConn)
+	}
+}
+
+func TestWorkloadRunQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("co-simulation")
+	}
+	wc := WorkloadConfig{N: 16, Ops: 400, Sockets: 2, Window: 8, MaxCycles: 5_000_000, Seed: 1}
+	res, err := RunWorkload("sf", "grep", wc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.IPC <= 0 || res.TotalPJ <= 0 {
+		t.Errorf("bad results: %+v", res)
+	}
+}
+
+func TestFig9bQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("co-simulation sweep")
+	}
+	s, err := Fig9b(32, []string{"grep"}, []float64{0, 0.25}, 400, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Rows) != 2 {
+		t.Fatalf("rows = %d", len(s.Rows))
+	}
+	if s.Rows[0][1] != 1 {
+		t.Errorf("baseline EDP not normalized to 1: %v", s.Rows[0][1])
+	}
+	if s.Rows[1][1] <= 0 {
+		t.Errorf("gated EDP missing: %v", s.Rows[1])
+	}
+}
+
+func TestProcessorPlacement(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	s, err := ProcessorPlacement(32, 0.1, QuickSimScale(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4 arrangements", len(s.Rows))
+	}
+	for i, row := range s.Rows {
+		if row[0] <= 0 {
+			t.Errorf("row %d has no sources", i)
+		}
+		if row[1] <= 0 {
+			t.Errorf("arrangement %s has zero latency", s.Labels[i])
+		}
+	}
+	// "all" uses every node as a source.
+	last := s.Rows[len(s.Rows)-1]
+	if last[0] != 32 {
+		t.Errorf("all-arrangement sources = %v, want 32", last[0])
+	}
+}
+
+func TestQuantizationStudy(t *testing.T) {
+	s, err := QuantizationStudy(256, []int{0, 7}, 200, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, quant := s.Rows[0], s.Rows[1]
+	if exact[1] != 100 {
+		t.Errorf("exact coordinates delivered %v%%, want 100", exact[1])
+	}
+	if quant[1] >= exact[1] {
+		t.Errorf("7-bit coordinates (%v%%) should deliver less than exact (%v%%) at N=256",
+			quant[1], exact[1])
+	}
+}
+
+func TestMetaCubeStudy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	s, err := MetaCubeStudy(64, []int{8, 32}, 0.05, QuickSimScale(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Rows) != 2 {
+		t.Fatalf("rows = %d", len(s.Rows))
+	}
+	small, large := s.Rows[0], s.Rows[1]
+	if large[1] <= small[1] {
+		t.Errorf("bigger cubes (%v%%) should keep more links intra-cube than smaller (%v%%)",
+			large[1], small[1])
+	}
+	for _, row := range s.Rows {
+		if row[2] <= 0 || row[3] <= 0 {
+			t.Errorf("missing latency in %v", row)
+		}
+	}
+}

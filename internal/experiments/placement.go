@@ -1,0 +1,207 @@
+package experiments
+
+import (
+	"math/rand"
+
+	"repro/internal/netsim"
+	"repro/internal/placement"
+	"repro/internal/routing"
+	"repro/internal/stats"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+// ProcessorPlacement reproduces the Section V processor-placement study:
+// memory traffic injected from different processor attachment points —
+// corner nodes, a subset (one per quadrant), random nodes, or all nodes —
+// with uniform-random destinations, reporting mean latency per arrangement.
+func ProcessorPlacement(n int, rate float64, sc SimScale, seed int64) (*stats.Series, error) {
+	sf, err := topology.NewPaperSF(n, seed)
+	if err != nil {
+		return nil, err
+	}
+	grid := placement.Place(sf.Graph(), seed, 2)
+
+	// Attachment arrangements.
+	corners := cornersOf(grid)
+	subset := spreadNodes(n, 8)
+	rng := rand.New(rand.NewSource(seed + 5))
+	random := rng.Perm(n)[:min(8, n)]
+	all := make([]int, n)
+	for i := range all {
+		all[i] = i
+	}
+
+	arrangements := []struct {
+		name    string
+		sources []int
+	}{
+		{"corner", corners},
+		{"subset", subset},
+		{"random", random},
+		{"all", all},
+	}
+
+	s := stats.NewSeries("Section V: processor placement study (uniform traffic)",
+		"sources", "latency_ns", "delivered_frac")
+	uniform, err := traffic.NewPattern("uniform", n)
+	if err != nil {
+		return nil, err
+	}
+	for _, a := range arrangements {
+		cfg := netsim.SFConfig(sf, seed)
+		cfg.PacketFlits = 1
+		cfg.LinkLatency = grid.LinkLatency(netsim.DefaultLinkLatency)
+		sim, err := netsim.New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		// Scale the per-source rate so total offered load is comparable
+		// across arrangements.
+		perSource := rate * float64(n) / float64(len(a.sources))
+		if perSource > 1 {
+			perSource = 1
+		}
+		pat := traffic.Subset(uniform, a.sources)
+		sim.SetPattern(perSource, func(src int, r *rand.Rand) (int, bool) { return pat(src, r) })
+		res := sim.RunMeasured(sc.Warmup, sc.Measure)
+		frac := res.DeliveredFraction()
+		lat := res.AvgLatencyNs()
+		if res.Deadlocked {
+			lat, frac = 0, 0
+		}
+		s.AddLabeledRow(a.name, float64(len(a.sources)), lat, frac)
+	}
+	return s, nil
+}
+
+// cornersOf returns the nodes placed nearest the four grid corners.
+func cornersOf(grid *placement.Grid) []int {
+	targets := [][2]int{
+		{0, 0}, {0, grid.Cols - 1}, {grid.Rows - 1, 0}, {grid.Rows - 1, grid.Cols - 1},
+	}
+	out := make([]int, 0, 4)
+	for _, t := range targets {
+		best, bestD := 0, 1<<30
+		for v := 0; v < grid.N; v++ {
+			dr := grid.Pos[v][0] - t[0]
+			dc := grid.Pos[v][1] - t[1]
+			d := dr*dr + dc*dc
+			if d < bestD {
+				best, bestD = v, d
+			}
+		}
+		out = append(out, best)
+	}
+	return out
+}
+
+// spreadNodes returns k node IDs evenly spread over 0..n-1.
+func spreadNodes(n, k int) []int {
+	if k > n {
+		k = n
+	}
+	out := make([]int, k)
+	for i := 0; i < k; i++ {
+		out[i] = i * n / k
+	}
+	return out
+}
+
+// QuantizationStudy measures the documented 7-bit coordinate limitation
+// (Section IV, Figure 6(b)): per coordinate width, the fraction of random
+// routes that still deliver under strict-decrease greedy routing, plus the
+// mean path length of successful routes. Exact coordinates (bits=0) always
+// deliver; narrow widths collapse on large networks.
+func QuantizationStudy(n int, bitWidths []int, trials int, seed int64) (*stats.Series, error) {
+	if len(bitWidths) == 0 {
+		bitWidths = []int{0, 12, 10, 8, 7, 6}
+	}
+	if trials <= 0 {
+		trials = 400
+	}
+	sf, err := topology.NewPaperSF(n, seed)
+	if err != nil {
+		return nil, err
+	}
+	s := stats.NewSeries("Section IV: coordinate quantization study",
+		"bits", "delivered_pct", "mean_path")
+	for _, bits := range bitWidths {
+		g := routing.NewGreediest(sf, bits)
+		rng := rand.New(rand.NewSource(seed + int64(bits)))
+		ok, sum, attempted := 0, 0, 0
+		for attempted < trials {
+			src, dst := rng.Intn(n), rng.Intn(n)
+			if src == dst {
+				continue
+			}
+			attempted++
+			if hops, delivered := g.ZeroLoadPathLength(src, dst); delivered {
+				ok++
+				sum += hops
+			}
+		}
+		meanPath := 0.0
+		if ok > 0 {
+			meanPath = float64(sum) / float64(ok)
+		}
+		s.AddRow(float64(bits), 100*float64(ok)/float64(trials), meanPath)
+	}
+	return s, nil
+}
+
+// MetaCubeStudy reproduces the Section IV physical-organization analysis:
+// cluster the network into interposer MetaCubes of varying sizes and report
+// the fraction of links that stay on-interposer, the mean uniform-traffic
+// latency under the MetaCube wire model, and the same latency under a flat
+// 2D-grid placement.
+func MetaCubeStudy(n int, cubeSizes []int, rate float64, sc SimScale, seed int64) (*stats.Series, error) {
+	if len(cubeSizes) == 0 {
+		cubeSizes = []int{8, 16, 32}
+	}
+	sf, err := topology.NewPaperSF(n, seed)
+	if err != nil {
+		return nil, err
+	}
+	g := sf.Graph()
+	grid := placement.Place(g, seed, 2)
+	uniform, err := traffic.NewPattern("uniform", n)
+	if err != nil {
+		return nil, err
+	}
+	runWith := func(linkLat func(u, v int) int) (float64, error) {
+		cfg := netsim.SFConfig(sf, seed)
+		cfg.PacketFlits = 1
+		cfg.LinkLatency = linkLat
+		sim, err := netsim.New(cfg)
+		if err != nil {
+			return 0, err
+		}
+		sim.SetPattern(rate, func(src int, r *rand.Rand) (int, bool) { return uniform(src, r) })
+		res := sim.RunMeasured(sc.Warmup, sc.Measure)
+		if res.Deadlocked || res.Delivered == 0 {
+			return 0, nil
+		}
+		return res.AvgLatencyNs(), nil
+	}
+
+	s := stats.NewSeries("Section IV: MetaCube clustering study (uniform traffic)",
+		"cube_size", "intra_link_pct", "metacube_ns", "flat_grid_ns")
+	flatNs, err := runWith(grid.LinkLatency(netsim.DefaultLinkLatency))
+	if err != nil {
+		return nil, err
+	}
+	for _, size := range cubeSizes {
+		mc, err := placement.NewMetaCube(sf, size)
+		if err != nil {
+			return nil, err
+		}
+		cubeNs, err := runWith(mc.LinkLatency(netsim.DefaultLinkLatency))
+		if err != nil {
+			return nil, err
+		}
+		s.AddRow(float64(size),
+			100*mc.IntraCubeFraction(sf.BaseLinks()), cubeNs, flatNs)
+	}
+	return s, nil
+}

@@ -1,0 +1,161 @@
+package experiments
+
+import (
+	"math/rand"
+	"strconv"
+
+	"repro/internal/netsim"
+	"repro/internal/stats"
+	"repro/internal/traffic"
+)
+
+// SimScale controls simulation effort (cycles per point) so the full sweep
+// stays tractable; 1.0 is the default budget.
+type SimScale struct {
+	Warmup  int64
+	Measure int64
+	Step    float64
+}
+
+// DefaultSimScale is the budget used by cmd/sfexp.
+func DefaultSimScale() SimScale {
+	return SimScale{Warmup: 1500, Measure: 4000, Step: 0.05}
+}
+
+// QuickSimScale is a reduced budget for benchmarks and tests.
+func QuickSimScale() SimScale {
+	return SimScale{Warmup: 600, Measure: 1500, Step: 0.10}
+}
+
+// memTraffic adapts a memory-node-level pattern to router granularity via
+// the SUT's node->router map (identity for everything except FB/AFB).
+func memTraffic(sut *SUT, p traffic.Pattern) func(src int, rng *rand.Rand) (int, bool) {
+	return func(srcRouter int, rng *rand.Rand) (int, bool) {
+		// Draw a memory-node destination for a node hosted by this router.
+		dstNode, ok := p(srcRouter%sut.N, rng)
+		if !ok {
+			return 0, false
+		}
+		dst := sut.NodeRouter(dstNode)
+		if dst == srcRouter {
+			return 0, false
+		}
+		return dst, true
+	}
+}
+
+// Fig10Scales are the x-axis points of Figure 10.
+var Fig10Scales = []int{16, 32, 64, 128}
+
+// Fig10Patterns are the traffic patterns Figure 10 highlights.
+var Fig10Patterns = []string{"uniform", "hotspot", "tornado"}
+
+// Fig10 reproduces Figure 10: the saturation injection rate (percent of
+// cycles each node injects a single-flit request packet) of every design
+// across network sizes, for the uniform random, hotspot and tornado
+// patterns. Synthetic-pattern packets are single-flit (request-sized), so
+// the injection-rate axis is comparable with the paper's.
+func Fig10(scales []int, patterns []string, sc SimScale, seed int64) ([]*stats.Series, error) {
+	if len(scales) == 0 {
+		scales = Fig10Scales
+	}
+	if len(patterns) == 0 {
+		patterns = Fig10Patterns
+	}
+	var out []*stats.Series
+	for _, pname := range patterns {
+		s := stats.NewSeries("Figure 10: saturation injection rate (%), "+pname+" traffic",
+			"nodes", "dm", "odm", "fb", "afb", "s2", "sf")
+		for _, n := range scales {
+			row := []float64{float64(n)}
+			for _, kind := range SUTNames {
+				if !Supports(kind, n) {
+					row = append(row, 0)
+					continue
+				}
+				sut, err := BuildSUT(kind, n, seed)
+				if err != nil {
+					return nil, err
+				}
+				pat, err := traffic.NewPattern(pname, sut.N)
+				if err != nil {
+					return nil, err
+				}
+				sat, err := netsim.FindSaturation(netsim.SaturationConfig{
+					Step:    sc.Step,
+					Warmup:  sc.Warmup,
+					Measure: sc.Measure,
+				}, func(rate float64) (*netsim.Sim, error) {
+					cfg := sut.NetCfg(seed)
+					cfg.PacketFlits = 1
+					sim, err := netsim.New(cfg)
+					if err != nil {
+						return nil, err
+					}
+					sim.SetPattern(rate, memTraffic(sut, pat))
+					return sim, nil
+				})
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, sat*100)
+			}
+			s.AddRow(row...)
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// Fig11Rates is the injection-rate axis of Figure 11.
+var Fig11Rates = []float64{0.05, 0.10, 0.20, 0.30, 0.40, 0.50, 0.60, 0.70, 0.80}
+
+// Fig11 reproduces Figure 11: average packet latency (ns) versus injection
+// rate for one traffic pattern across designs, at a fixed network size.
+func Fig11(n int, pattern string, rates []float64, sc SimScale, seed int64) (*stats.Series, error) {
+	if len(rates) == 0 {
+		rates = Fig11Rates
+	}
+	s := stats.NewSeries("Figure 11: avg packet latency (ns), "+pattern+" traffic, N="+strconv.Itoa(n),
+		"inj_rate_pct", "dm", "odm", "fb", "afb", "s2", "sf")
+	suts := make(map[string]*SUT)
+	for _, kind := range SUTNames {
+		if !Supports(kind, n) {
+			continue
+		}
+		sut, err := BuildSUT(kind, n, seed)
+		if err != nil {
+			return nil, err
+		}
+		suts[kind] = sut
+	}
+	for _, rate := range rates {
+		row := []float64{rate * 100}
+		for _, kind := range SUTNames {
+			sut, ok := suts[kind]
+			if !ok {
+				row = append(row, 0)
+				continue
+			}
+			pat, err := traffic.NewPattern(pattern, sut.N)
+			if err != nil {
+				return nil, err
+			}
+			cfg := sut.NetCfg(seed)
+			cfg.PacketFlits = 1
+			sim, err := netsim.New(cfg)
+			if err != nil {
+				return nil, err
+			}
+			sim.SetPattern(rate, memTraffic(sut, pat))
+			res := sim.RunMeasured(sc.Warmup, sc.Measure)
+			if res.Deadlocked || res.Delivered == 0 {
+				row = append(row, 0) // saturated/unstable: plotted as a gap
+				continue
+			}
+			row = append(row, res.AvgLatencyNs())
+		}
+		s.AddRow(row...)
+	}
+	return s, nil
+}

@@ -1,0 +1,237 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section VI). Each experiment returns stats.Series values that
+// cmd/sfexp prints and bench_test.go exercises; EXPERIMENTS.md records the
+// measured outputs against the paper's.
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/graph"
+	"repro/internal/netsim"
+	"repro/internal/routing"
+	"repro/internal/topology"
+)
+
+// SUT is one system under test: a topology instance with its routing
+// algorithm and simulator configuration, normalized so that every design
+// runs on the same simulator.
+type SUT struct {
+	Name    string
+	N       int // memory nodes
+	Routers int // network routers (differs from N for concentrated FB/AFB)
+	Ports   int
+	Out     [][]int
+	Graph   *graph.Graph
+	// NodeRouter maps a memory node to its router.
+	NodeRouter func(node int) int
+	// NetCfg builds a simulator configuration with the design's routing,
+	// VC and escape policies.
+	NetCfg func(seed int64) netsim.Config
+	// SF holds the String Figure topology for SF/S2 designs (nil
+	// otherwise), used by reconfiguration experiments.
+	SF *topology.StringFigure
+}
+
+// SUTNames lists the evaluated designs in Figure 8 order.
+var SUTNames = []string{"dm", "odm", "fb", "afb", "s2", "sf"}
+
+// identity is the node->router map for non-concentrated designs.
+func identity(v int) int { return v }
+
+// BuildSUT constructs the named design at scale n. Seeds make every build
+// deterministic.
+func BuildSUT(kind string, n int, seed int64) (*SUT, error) {
+	switch kind {
+	case "dm":
+		return buildMesh(n, 1)
+	case "odm":
+		width, err := ODMWidth(n, seed)
+		if err != nil {
+			return nil, err
+		}
+		return buildMesh(n, width)
+	case "fb":
+		return buildButterfly(n, false)
+	case "afb":
+		return buildButterfly(n, true)
+	case "s2":
+		sf, err := topology.NewStringFigure(topology.Config{
+			N: n, Ports: topology.PortsForN(n), Seed: seed,
+			Bidirectional: true, Shortcuts: false,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return buildSF("s2", sf), nil
+	case "sf":
+		sf, err := topology.NewPaperSF(n, seed)
+		if err != nil {
+			return nil, err
+		}
+		return buildSF("sf", sf), nil
+	default:
+		return nil, fmt.Errorf("experiments: unknown design %q (want one of %v)", kind, SUTNames)
+	}
+}
+
+func buildSF(name string, sf *topology.StringFigure) *SUT {
+	g := sf.Graph()
+	out := sf.OutNeighbors()
+	return &SUT{
+		Name:       name,
+		N:          sf.Cfg.N,
+		Routers:    sf.Cfg.N,
+		Ports:      sf.Cfg.Ports,
+		Out:        out,
+		Graph:      g,
+		NodeRouter: identity,
+		NetCfg: func(seed int64) netsim.Config {
+			return netsim.SFConfig(sf, seed)
+		},
+		SF: sf,
+	}
+}
+
+func buildMesh(n, width int) (*SUT, error) {
+	m, err := topology.NewODM(n, width)
+	if err != nil {
+		return nil, err
+	}
+	g := m.Graph()
+	out := make([][]int, n)
+	for v := 0; v < n; v++ {
+		out[v] = g.UniqueOutNeighbors(v)
+	}
+	name := "dm"
+	if width > 1 {
+		name = "odm"
+	}
+	alg := &routing.MeshRouter{Mesh: m}
+	return &SUT{
+		Name:       name,
+		N:          n,
+		Routers:    n,
+		Ports:      m.Ports(),
+		Out:        out,
+		Graph:      g,
+		NodeRouter: identity,
+		NetCfg: func(seed int64) netsim.Config {
+			return netsim.Config{
+				Out:       out,
+				Alg:       alg,
+				EscapeVCs: 1, // XY first candidate is the escape route
+				VCs:       3,
+				LinkWidth: width, // ODM widened channels (1 for DM)
+				Adaptive:  netsim.AdaptiveEveryHop,
+				Seed:      seed,
+			}
+		},
+	}, nil
+}
+
+func buildButterfly(n int, partitioned bool) (*SUT, error) {
+	var b *topology.Butterfly
+	var err error
+	if partitioned {
+		b, err = topology.NewAdaptedFlattenedButterfly(n)
+	} else {
+		b, err = topology.NewFlattenedButterfly(n)
+	}
+	if err != nil {
+		return nil, err
+	}
+	g := b.Graph()
+	out := make([][]int, b.Routers())
+	for v := 0; v < b.Routers(); v++ {
+		out[v] = g.UniqueOutNeighbors(v)
+	}
+	name := "fb"
+	if partitioned {
+		name = "afb"
+	}
+	alg := &routing.ButterflyRouter{B: b}
+	return &SUT{
+		Name:       name,
+		N:          n,
+		Routers:    b.Routers(),
+		Ports:      b.Ports(),
+		Out:        out,
+		Graph:      g,
+		NodeRouter: b.NodeRouter,
+		NetCfg: func(seed int64) netsim.Config {
+			return netsim.Config{
+				Out:       out,
+				Alg:       alg,
+				EscapeVCs: 1, // dimension-ordered first candidate escapes
+				VCs:       3,
+				Adaptive:  netsim.AdaptiveEveryHop,
+				Seed:      seed,
+			}
+		},
+	}, nil
+}
+
+// ODMWidth computes the channel-width multiplier that matches the mesh's
+// bisection bandwidth to String Figure's at the same scale (Section V's
+// "optimized DM"). The SF bandwidth uses the paper's random-cut max-flow
+// methodology (appropriate for random topologies, where every balanced cut
+// is near-minimal); the mesh uses its geometric bisection (the true minimum
+// cut of a grid — random cuts would overestimate it wildly).
+func ODMWidth(n int, seed int64) (int, error) {
+	sf, err := topology.NewPaperSF(n, seed)
+	if err != nil {
+		return 0, err
+	}
+	m, err := topology.NewMesh(n)
+	if err != nil {
+		return 0, err
+	}
+	cuts := 5
+	rng := rand.New(rand.NewSource(seed))
+	sfBW := sf.Graph().BisectionBandwidth(cuts, rng)
+	meshBW := MeshGeometricBisection(m)
+	if meshBW <= 0 {
+		return 1, nil
+	}
+	width := int(math.Round(sfBW / meshBW))
+	if width < 1 {
+		width = 1
+	}
+	if width > 8 {
+		width = 8
+	}
+	return width, nil
+}
+
+// MeshGeometricBisection returns the directed flow across the mesh's middle
+// column cut: Rows links per direction times the channel width.
+func MeshGeometricBisection(m *topology.Mesh) float64 {
+	g := m.Graph()
+	var left, right []int
+	for v := 0; v < m.N; v++ {
+		_, c := m.Loc(v)
+		if c < m.Cols/2 {
+			left = append(left, v)
+		} else {
+			right = append(right, v)
+		}
+	}
+	return g.PartitionFlow(left, right)
+}
+
+// PaperScales are the network sizes of Figure 8. Designs that do not
+// support a scale (FB/AFB below 128) are skipped by the experiments.
+var PaperScales = []int{16, 17, 32, 61, 64, 113, 128, 256, 512, 1024, 1296}
+
+// Supports reports whether a design is evaluated at scale n in Figure 8.
+func Supports(kind string, n int) bool {
+	switch kind {
+	case "fb", "afb":
+		return n >= 128
+	default:
+		return true
+	}
+}

@@ -1,0 +1,162 @@
+package memnode
+
+import (
+	"fmt"
+)
+
+// SchedPolicy selects the memory-controller scheduling policy of a node's
+// logic die.
+type SchedPolicy int
+
+const (
+	// FCFS services requests strictly in arrival order.
+	FCFS SchedPolicy = iota
+	// FRFCFS (first-ready, first-come-first-served) prioritizes row-buffer
+	// hits over older row misses, the standard high-throughput policy and
+	// the usual assumption for HMC-class stacks.
+	FRFCFS
+)
+
+func (p SchedPolicy) String() string {
+	if p == FRFCFS {
+		return "fr-fcfs"
+	}
+	return "fcfs"
+}
+
+// Request is one queued memory access.
+type Request struct {
+	Addr   uint64
+	Write  bool
+	Arrive int64 // cycle the request entered the controller
+	Tag    int64 // caller correlation tag
+	issued bool
+	done   int64
+}
+
+// Controller queues requests in front of a memory node and issues them to
+// the banks under a scheduling policy, modeling the logic-die controller of
+// an HMC-style stack. It exposes completions by ready time so the memory
+// system layer can couple them to network responses.
+type Controller struct {
+	Node   *Node
+	Policy SchedPolicy
+	// QueueCap bounds the request queue (0 = unbounded).
+	QueueCap int
+
+	queue []Request
+
+	// Stats
+	Enqueued   int64
+	Issued     int64
+	Rejected   int64
+	QueueDelay int64 // total cycles requests waited before issue
+}
+
+// NewController wraps a node with a request queue.
+func NewController(node *Node, policy SchedPolicy, queueCap int) *Controller {
+	return &Controller{Node: node, Policy: policy, QueueCap: queueCap}
+}
+
+// Enqueue adds a request; it returns false when the queue is full (the
+// caller applies backpressure, as the network would).
+func (c *Controller) Enqueue(r Request) bool {
+	if c.QueueCap > 0 && len(c.queue) >= c.QueueCap {
+		c.Rejected++
+		return false
+	}
+	c.queue = append(c.queue, r)
+	c.Enqueued++
+	return true
+}
+
+// QueueLen returns the number of waiting requests.
+func (c *Controller) QueueLen() int { return len(c.queue) }
+
+// Tick issues at most `issueWidth` requests at the given cycle and returns
+// the completions: requests whose data is ready at or before `now` are
+// returned in completion order. Under FR-FCFS, a queued row-buffer hit may
+// issue before an older row miss; FCFS issues strictly in order.
+func (c *Controller) Tick(now int64, issueWidth int) []Request {
+	for w := 0; w < issueWidth; w++ {
+		idx := c.pickNext(now)
+		if idx < 0 {
+			break
+		}
+		r := &c.queue[idx]
+		r.issued = true
+		r.done = c.Node.Access(now, r.Addr, r.Write)
+		c.Issued++
+		c.QueueDelay += now - r.Arrive
+	}
+	// Collect finished requests (issued and past their done time).
+	var out []Request
+	kept := c.queue[:0]
+	for _, r := range c.queue {
+		if r.issued && r.done <= now {
+			out = append(out, r)
+		} else {
+			kept = append(kept, r)
+		}
+	}
+	c.queue = kept
+	return out
+}
+
+// pickNext selects the next request to issue, or -1 when none is eligible
+// (empty queue, or every candidate's bank is busy past `now`).
+func (c *Controller) pickNext(now int64) int {
+	switch c.Policy {
+	case FRFCFS:
+		// First pass: oldest row-buffer hit whose bank is free.
+		for i := range c.queue {
+			r := &c.queue[i]
+			if r.issued {
+				continue
+			}
+			if c.Node.bankFree(now, r.Addr) && c.Node.rowHit(r.Addr) {
+				return i
+			}
+		}
+		fallthrough
+	default:
+		// Oldest unissued request whose bank is free.
+		for i := range c.queue {
+			r := &c.queue[i]
+			if r.issued {
+				continue
+			}
+			if c.Node.bankFree(now, r.Addr) {
+				return i
+			}
+		}
+	}
+	return -1
+}
+
+// AvgQueueDelay returns the mean cycles spent waiting before issue.
+func (c *Controller) AvgQueueDelay() float64 {
+	if c.Issued == 0 {
+		return 0
+	}
+	return float64(c.QueueDelay) / float64(c.Issued)
+}
+
+// bankFree reports whether the bank owning addr can accept a command at
+// cycle `now`.
+func (n *Node) bankFree(now int64, addr uint64) bool {
+	b := &n.banks[(addr>>6)&n.bankMask]
+	return b.readyAt <= now
+}
+
+// rowHit reports whether addr would hit the open row of its bank.
+func (n *Node) rowHit(addr uint64) bool {
+	b := &n.banks[(addr>>6)&n.bankMask]
+	return b.openRow == int64(addr>>(rowShift+n.bankBits))
+}
+
+// String describes the controller configuration.
+func (c *Controller) String() string {
+	return fmt.Sprintf("controller(node=%d policy=%s cap=%d queued=%d)",
+		c.Node.ID, c.Policy, c.QueueCap, len(c.queue))
+}

@@ -1,0 +1,125 @@
+package memnode
+
+import (
+	"testing"
+)
+
+func newTestController(t *testing.T, policy SchedPolicy, cap int) *Controller {
+	t.Helper()
+	n, err := NewNode(0, 16, PaperTiming())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewController(n, policy, cap)
+}
+
+func TestControllerFCFSOrder(t *testing.T) {
+	c := newTestController(t, FCFS, 0)
+	// Two requests to the same bank: must complete in arrival order.
+	c.Enqueue(Request{Addr: 0x0, Arrive: 0, Tag: 1})
+	c.Enqueue(Request{Addr: 0x0, Arrive: 0, Tag: 2})
+	var done []int64
+	for now := int64(0); now < 100 && len(done) < 2; now++ {
+		for _, r := range c.Tick(now, 2) {
+			done = append(done, r.Tag)
+		}
+	}
+	if len(done) != 2 || done[0] != 1 || done[1] != 2 {
+		t.Fatalf("completion order = %v, want [1 2]", done)
+	}
+}
+
+func TestControllerFRFCFSPrioritizesRowHits(t *testing.T) {
+	c := newTestController(t, FRFCFS, 0)
+	// Open row 0 in bank 0.
+	c.Node.Access(0, 0x0, false)
+	bankReady := c.Node.banks[0].readyAt
+	// Queue: first a row MISS to bank 0 (different row), then a row HIT.
+	missAddr := uint64(1) << (rowShift + 4)
+	c.Enqueue(Request{Addr: missAddr, Arrive: bankReady, Tag: 1})
+	c.Enqueue(Request{Addr: 0x1400, Arrive: bankReady, Tag: 2}) // same row 0, bank 0
+	var order []int64
+	for now := bankReady; now < bankReady+200 && len(order) < 2; now++ {
+		for _, r := range c.Tick(now, 1) {
+			order = append(order, r.Tag)
+		}
+	}
+	if len(order) != 2 {
+		t.Fatalf("not all requests completed: %v", order)
+	}
+	if order[0] != 2 {
+		t.Errorf("FR-FCFS completion order = %v, want the row hit (tag 2) first", order)
+	}
+
+	// FCFS on the same scenario services the miss first.
+	f := newTestController(t, FCFS, 0)
+	f.Node.Access(0, 0x0, false)
+	f.Enqueue(Request{Addr: missAddr, Arrive: bankReady, Tag: 1})
+	f.Enqueue(Request{Addr: 0x1400, Arrive: bankReady, Tag: 2})
+	order = order[:0]
+	for now := bankReady; now < bankReady+200 && len(order) < 2; now++ {
+		for _, r := range f.Tick(now, 1) {
+			order = append(order, r.Tag)
+		}
+	}
+	if order[0] != 1 {
+		t.Errorf("FCFS completion order = %v, want arrival order", order)
+	}
+}
+
+func TestControllerQueueCap(t *testing.T) {
+	c := newTestController(t, FCFS, 2)
+	if !c.Enqueue(Request{Addr: 0}) || !c.Enqueue(Request{Addr: 64}) {
+		t.Fatal("first two enqueues should succeed")
+	}
+	if c.Enqueue(Request{Addr: 128}) {
+		t.Error("third enqueue should be rejected")
+	}
+	if c.Rejected != 1 {
+		t.Errorf("Rejected = %d, want 1", c.Rejected)
+	}
+	if c.QueueLen() != 2 {
+		t.Errorf("QueueLen = %d, want 2", c.QueueLen())
+	}
+}
+
+func TestControllerBankParallelIssue(t *testing.T) {
+	c := newTestController(t, FRFCFS, 0)
+	// Requests to two different banks issue in the same cycle with width 2.
+	c.Enqueue(Request{Addr: 0x0, Arrive: 0, Tag: 1})
+	c.Enqueue(Request{Addr: 0x40, Arrive: 0, Tag: 2})
+	var done []Request
+	for now := int64(0); now < 50 && len(done) < 2; now++ {
+		done = append(done, c.Tick(now, 2)...)
+	}
+	if len(done) != 2 {
+		t.Fatalf("completed %d, want 2", len(done))
+	}
+	if done[0].done != done[1].done {
+		t.Errorf("parallel banks finished at %d and %d, want equal",
+			done[0].done, done[1].done)
+	}
+}
+
+func TestControllerQueueDelayAccounting(t *testing.T) {
+	c := newTestController(t, FCFS, 0)
+	c.Enqueue(Request{Addr: 0x0, Arrive: 0})
+	c.Enqueue(Request{Addr: 0x0, Arrive: 0}) // same bank: waits for first
+	for now := int64(0); now < 100 && c.QueueLen() > 0; now++ {
+		c.Tick(now, 1)
+	}
+	if c.AvgQueueDelay() <= 0 {
+		t.Errorf("AvgQueueDelay = %v, want > 0 (second request waited)", c.AvgQueueDelay())
+	}
+	if c.Issued != 2 {
+		t.Errorf("Issued = %d, want 2", c.Issued)
+	}
+}
+
+func TestControllerStringer(t *testing.T) {
+	c := newTestController(t, FRFCFS, 8)
+	s := c.String()
+	if s == "" || c.Policy.String() != "fr-fcfs" || FCFS.String() != "fcfs" {
+		t.Errorf("String() outputs wrong: %q", s)
+	}
+}

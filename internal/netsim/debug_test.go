@@ -1,0 +1,60 @@
+package netsim
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+// TestDebugStuckState dumps the simulator state after a stall; it is a
+// development aid kept as a regression probe (it fails only if the network
+// cannot drain).
+func TestDebugStuckState(t *testing.T) {
+	sf, err := topology.NewStringFigure(topology.Config{N: 24, Ports: 4, Seed: 5, Shortcuts: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(SFConfig(sf, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pat, _ := traffic.NewPattern("uniform", 24)
+	s.SetPattern(0.2, pat)
+	s.Run(500)
+	s.SetPattern(0, pat)
+	s.Run(5000)
+	if s.Results().InFlight == 0 {
+		return // drained fine
+	}
+	count := 0
+	for _, r := range s.routers {
+		for i := range r.in {
+			iu := &r.in[i]
+			if len(iu.q) == 0 {
+				continue
+			}
+			count++
+			if count > 12 {
+				break
+			}
+			f := iu.q[0]
+			port := i / s.cfg.VCs
+			vc := i % s.cfg.VCs
+			var creditStr string
+			if iu.route >= 0 && iu.route < len(r.outNbr) {
+				creditStr = fmt.Sprintf("credits[route][outVC]=%d owner=%d",
+					r.credits[iu.route*s.cfg.VCs+iu.outVC],
+					r.outOwner[iu.route*s.cfg.VCs+iu.outVC])
+			}
+			t.Logf("router %d inPort %d (up=%d) vc %d: qlen=%d route=%d outVC=%d blocked=%d head=%v tail=%v pkt(src=%d dst=%d advc=%d) %s",
+				r.id, port, r.inUp[port], vc, len(iu.q), iu.route, iu.outVC, iu.blocked,
+				f.head, f.tail, f.pkt.src, f.pkt.dst, f.pkt.advc, creditStr)
+		}
+		if len(r.srcQ) > 0 {
+			t.Logf("router %d srcQ len=%d", r.id, len(r.srcQ))
+		}
+	}
+	t.Fatalf("network stuck with %d flits in flight", s.Results().InFlight)
+}

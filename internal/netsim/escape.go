@@ -1,0 +1,55 @@
+package netsim
+
+import (
+	"repro/internal/routing"
+	"repro/internal/topology"
+)
+
+// RingEscape builds the escape routing function for a String Figure (or S2)
+// network: escape packets follow the Virtual Space-0 ring clockwise over the
+// alive nodes, which is a Hamiltonian cycle of the active topology by
+// construction (ring links plus shortcut healing). The escape channels use
+// the classic dateline discipline: VC 0 while the current node's ring rank
+// is above the destination's (the packet still has to cross the rank-0
+// dateline), VC 1 afterwards, which makes the escape channel dependency
+// graph acyclic and the whole network deadlock-free under Duato's protocol.
+//
+// alive may be nil (all nodes alive). Rebuild the function after every
+// reconfiguration. Use EscapeVCs: 2 with this route.
+func RingEscape(sf *topology.StringFigure, alive []bool) func(cur, dst int) (int, int) {
+	n := sf.Cfg.N
+	succ := make([]int, n)
+	for v := 0; v < n; v++ {
+		if alive != nil && !alive[v] {
+			succ[v] = -1
+			continue
+		}
+		succ[v] = sf.Successor(0, v, alive)
+	}
+	rank := sf.Rank[0]
+	return func(cur, dst int) (int, int) {
+		next := succ[cur]
+		if rank[cur] > rank[dst] {
+			return next, 0 // dateline (rank N-1 -> 0) still ahead
+		}
+		return next, 1
+	}
+}
+
+// SFConfig assembles the simulator configuration for a full-scale String
+// Figure network with the paper's policies: greediest routing with two-hop
+// lookahead, the coordinate-direction virtual-channel split on the adaptive
+// channels, adaptive first-hop selection, and the Space-0 ring escape.
+func SFConfig(sf *topology.StringFigure, seed int64) Config {
+	g := routing.NewGreediest(sf, 0)
+	return Config{
+		Out:         sf.OutNeighbors(),
+		Alg:         g,
+		VCPolicy:    g.VirtualChannel,
+		EscapeVCs:   2,
+		VCs:         4,
+		EscapeRoute: RingEscape(sf, nil),
+		Adaptive:    AdaptiveFirstHop,
+		Seed:        seed,
+	}
+}

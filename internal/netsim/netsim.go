@@ -1,0 +1,748 @@
+// Package netsim is a flit-level, cycle-driven interconnect simulator — the
+// Go substitute for the paper's SystemVerilog/PyMTL RTL framework (Section
+// V). It models input-queued wormhole routers with virtual channels,
+// credit-based flow control, round-robin switch allocation, per-hop SerDes
+// latency, long-wire extra latency from the 2D placement, and the adaptive
+// routing policy driven by output-port load counters.
+//
+// Deadlock avoidance follows Duato's protocol: packets travel on adaptive
+// virtual channels under the topology's routing algorithm and may fall back
+// to reserved escape channels routed over a provably acyclic subnetwork (the
+// Space-0 ring with a dateline VC split for String Figure; dimension-order
+// for meshes and butterflies). The paper's two-VC coordinate-direction
+// scheme is preserved as the adaptive-VC assignment policy; used alone it
+// deadlocks under greedy MD routing (see EXPERIMENTS.md), which is why the
+// escape subnetwork exists.
+//
+// The simulator is topology-agnostic: it consumes an out-adjacency, a
+// routing.Algorithm for next-hop candidates, a virtual-channel policy, an
+// escape routing function, and a per-link latency function, so String
+// Figure and every baseline run on the same machinery.
+package netsim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/routing"
+)
+
+// AdaptiveMode selects where load-adaptive output selection applies.
+type AdaptiveMode int
+
+const (
+	// AdaptiveOff always follows the deterministic first candidate.
+	AdaptiveOff AdaptiveMode = iota
+	// AdaptiveFirstHop diverts only the first hop (String Figure policy,
+	// Section III-B).
+	AdaptiveFirstHop
+	// AdaptiveEveryHop picks the least-loaded minimal candidate at every
+	// hop (the mesh and flattened-butterfly baselines).
+	AdaptiveEveryHop
+)
+
+// Config parameterizes one simulation.
+type Config struct {
+	// Out is the router-level out-adjacency; ports are its distinct targets.
+	Out [][]int
+	// Alg supplies candidate next hops for the adaptive channels.
+	Alg routing.Algorithm
+	// VCPolicy picks the packet's adaptive virtual channel (an index into
+	// the adaptive VC range) at injection; nil round-robins.
+	VCPolicy func(src, dst int) int
+	// VCs is the total number of virtual channels including escape VCs.
+	VCs int
+	// EscapeVCs is the number of reserved escape channels (default 1; the
+	// String Figure ring escape needs 2 for its dateline).
+	EscapeVCs int
+	// EscapeRoute returns the escape next hop and escape VC (0-based
+	// within the escape range) from cur toward dst. nil falls back to the
+	// algorithm's deterministic first candidate on escape VC 0 — only
+	// sound when that first candidate is itself deadlock-free (XY meshes,
+	// dimension-ordered butterflies).
+	EscapeRoute func(cur, dst int) (next int, escVC int)
+	// EscapePatience is how many consecutive blocked cycles a routed head
+	// flit tolerates before diverting to the escape subnetwork.
+	EscapePatience int
+	// BufFlits is the per-VC input buffer depth in flits.
+	BufFlits int
+	// LinkWidth is the flit bandwidth of each link per cycle (default 1).
+	// The optimized distributed mesh (ODM) uses it to model the widened
+	// channels that match String Figure's bisection bandwidth.
+	LinkWidth int
+	// PacketFlits is the packet size in flits (header + payload).
+	PacketFlits int
+	// LinkLatency returns the cycle count for traversing link u->v,
+	// including SerDes; nil means DefaultLinkLatency everywhere.
+	LinkLatency func(u, v int) int
+	// Adaptive selects the adaptive-routing policy.
+	Adaptive AdaptiveMode
+	// AdaptiveThreshold is the queue-occupancy fraction above which the
+	// deterministic port is abandoned for a lighter one (paper: 0.5).
+	AdaptiveThreshold float64
+	// OnDelivered, when set, is called as each packet's tail flit ejects:
+	// closed-loop clients (the memory system co-simulation) use it to
+	// couple requests with responses. Callbacks run inside Run.
+	OnDelivered func(src, dst int, tag int64)
+	// Seed drives injection randomness.
+	Seed int64
+}
+
+// DefaultLinkLatency is the per-hop latency in cycles: one cycle of wire/
+// switch traversal plus one cycle of SerDes (3.2 ns at the 312.5 MHz HMC
+// network clock, Table I).
+const DefaultLinkLatency = 2
+
+// CycleNs is the network clock period in nanoseconds (312.5 MHz).
+const CycleNs = 3.2
+
+func (c *Config) fill() error {
+	if len(c.Out) < 2 {
+		return fmt.Errorf("netsim: need at least 2 routers")
+	}
+	if c.Alg == nil {
+		return fmt.Errorf("netsim: routing algorithm required")
+	}
+	if c.EscapeVCs <= 0 {
+		c.EscapeVCs = 1
+	}
+	if c.VCs <= c.EscapeVCs {
+		c.VCs = c.EscapeVCs + 2 // the paper's two adaptive channels
+	}
+	if c.EscapePatience <= 0 {
+		c.EscapePatience = 64
+	}
+	if c.BufFlits <= 0 {
+		c.BufFlits = 8
+	}
+	if c.LinkWidth <= 0 {
+		c.LinkWidth = 1
+	}
+	if c.PacketFlits <= 0 {
+		c.PacketFlits = 5 // 64B line + header over 128-bit flits
+	}
+	if c.AdaptiveThreshold <= 0 {
+		c.AdaptiveThreshold = 0.5
+	}
+	return nil
+}
+
+// packet is one in-flight packet.
+type packet struct {
+	id       int64
+	tag      int64 // caller-supplied correlation tag (closed-loop clients)
+	src, dst int
+	advc     int // assigned adaptive VC
+	size     int
+	injected int64
+	hops     int
+	// escaped commits the packet to the escape subnetwork. Commitment is
+	// permanent: re-entering the adaptive channels would create indirect
+	// escape->adaptive->escape dependencies that defeat the dateline
+	// ordering (adaptive hops can move a packet backwards along the ring),
+	// reintroducing deadlock.
+	escaped bool
+}
+
+// flit is one flow-control unit; vc is the virtual channel of the buffer it
+// currently occupies (escape packets change VC hop by hop).
+type flit struct {
+	pkt  *packet
+	vc   int
+	head bool
+	tail bool
+}
+
+// inputUnit is one (input port, VC) buffer with its current route state.
+type inputUnit struct {
+	q       []flit
+	route   int // assigned output port, -1 when the head packet is unrouted
+	outVC   int // VC on the next link, set with route
+	blocked int // consecutive cycles the routed head flit failed to move
+}
+
+// inflight is a flit traversing a link.
+type inflight struct {
+	f      flit
+	arrive int64
+}
+
+// router holds the per-node microarchitecture.
+type router struct {
+	id int
+	// outNbr[p] is the downstream node of output port p.
+	outNbr []int
+	// outPortOf maps a neighbor node to the local output port.
+	outPortOf map[int]int
+	// inUp[p] is the upstream node of input port p; the last input port is
+	// the injection port (upstream -1).
+	inUp []int
+	// inPortOf maps an upstream node to the local input port.
+	inPortOf map[int]int
+	// in[p*VCs+v] are the input units.
+	in []inputUnit
+	// credits[p*VCs+v] are the free downstream slots per output port + VC.
+	credits []int
+	// links[p] is the delay line of output port p.
+	links [][]inflight
+	// rr[p] is the round-robin pointer of output port p over input units.
+	rr []int
+	// outOwner[p*VCs+v] is the input unit currently holding output VC v of
+	// port p (-1 when free): wormhole switching must not interleave flits
+	// of different packets on one virtual channel.
+	outOwner []int
+	// srcQ is the unbounded source queue feeding the injection port.
+	srcQ []flit
+	// queued counts flits across all input units; idle routers (queued==0
+	// and empty srcQ) skip routing and arbitration entirely.
+	queued int
+}
+
+// Sim is one simulation instance.
+type Sim struct {
+	cfg     Config
+	routers []*router
+	rng     *rand.Rand
+	cycle   int64
+	nextID  int64
+
+	res       Results
+	lastMove  int64
+	trafficFn func(cycle int64, src int, rng *rand.Rand) (dst int, ok bool)
+	trace     []TraceEvent
+	tracePos  int
+}
+
+// TraceEvent is one trace-driven packet injection.
+type TraceEvent struct {
+	Cycle int64
+	Src   int
+	Dst   int
+}
+
+// New builds a simulator for the given configuration.
+func New(cfg Config) (*Sim, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	n := len(cfg.Out)
+	s := &Sim{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+	s.routers = make([]*router, n)
+	for v := 0; v < n; v++ {
+		r := &router{id: v, outPortOf: make(map[int]int), inPortOf: make(map[int]int)}
+		for _, w := range cfg.Out[v] {
+			r.outPortOf[w] = len(r.outNbr)
+			r.outNbr = append(r.outNbr, w)
+		}
+		s.routers[v] = r
+	}
+	// Wire input ports from the out-adjacency.
+	for v := 0; v < n; v++ {
+		for _, w := range cfg.Out[v] {
+			rw := s.routers[w]
+			rw.inPortOf[v] = len(rw.inUp)
+			rw.inUp = append(rw.inUp, v)
+		}
+	}
+	for _, r := range s.routers {
+		r.inUp = append(r.inUp, -1) // injection port
+		nin := len(r.inUp)
+		r.in = make([]inputUnit, nin*cfg.VCs)
+		for i := range r.in {
+			r.in[i].route = -1
+		}
+		r.credits = make([]int, len(r.outNbr)*cfg.VCs)
+		for i := range r.credits {
+			r.credits[i] = cfg.BufFlits
+		}
+		r.links = make([][]inflight, len(r.outNbr))
+		r.rr = make([]int, len(r.outNbr)+1) // +1 for the ejection port
+		r.outOwner = make([]int, (len(r.outNbr)+1)*cfg.VCs)
+		for i := range r.outOwner {
+			r.outOwner[i] = -1
+		}
+	}
+	s.res.MinInjectLatency = -1
+	return s, nil
+}
+
+// SetPattern installs a synthetic traffic source: every cycle each node
+// injects a packet with probability rate toward pattern(src, rng); the
+// pattern returns ok=false to skip (e.g. self-addressed traffic).
+func (s *Sim) SetPattern(rate float64, pattern func(src int, rng *rand.Rand) (int, bool)) {
+	s.trafficFn = func(cycle int64, src int, rng *rand.Rand) (int, bool) {
+		if rng.Float64() >= rate {
+			return 0, false
+		}
+		return pattern(src, rng)
+	}
+}
+
+// SetTrace installs trace-driven injection. Events must be sorted by cycle.
+func (s *Sim) SetTrace(events []TraceEvent) {
+	s.trace = events
+	s.tracePos = 0
+}
+
+// linkLatency returns the traversal latency for u->v.
+func (s *Sim) linkLatency(u, v int) int {
+	if s.cfg.LinkLatency == nil {
+		return DefaultLinkLatency
+	}
+	l := s.cfg.LinkLatency(u, v)
+	if l < 1 {
+		l = 1
+	}
+	return l
+}
+
+// Run advances the simulation by the given number of cycles.
+func (s *Sim) Run(cycles int64) {
+	end := s.cycle + cycles
+	for s.cycle < end {
+		s.step()
+	}
+}
+
+// step advances one network cycle.
+func (s *Sim) step() {
+	s.deliverLinkFlits()
+	s.inject()
+	s.drainSourceQueues()
+	for _, r := range s.routers {
+		if r.queued == 0 {
+			continue
+		}
+		s.routeHeads(r)
+		s.arbitrate(r)
+	}
+	s.cycle++
+	if !s.res.Deadlocked && s.cycle-s.lastMove > 50_000 && s.inFlight() > 0 {
+		s.res.Deadlocked = true
+	}
+}
+
+// deliverLinkFlits moves flits whose link delay elapsed into downstream
+// input buffers. Space is guaranteed by the credit protocol.
+func (s *Sim) deliverLinkFlits() {
+	for _, r := range s.routers {
+		for p, q := range r.links {
+			moved := 0
+			for moved < len(q) && q[moved].arrive <= s.cycle {
+				f := q[moved].f
+				dn := s.routers[r.outNbr[p]]
+				ip := dn.inPortOf[r.id]
+				unit := &dn.in[ip*s.cfg.VCs+f.vc]
+				unit.q = append(unit.q, f)
+				dn.queued++
+				moved++
+			}
+			if moved > 0 {
+				r.links[p] = q[moved:]
+				s.lastMove = s.cycle
+			}
+		}
+	}
+}
+
+// inject enqueues new packets into source queues.
+func (s *Sim) inject() {
+	if s.trafficFn != nil {
+		for v, r := range s.routers {
+			dst, ok := s.trafficFn(s.cycle, v, s.rng)
+			if !ok || dst == v || dst < 0 || dst >= len(s.routers) {
+				continue
+			}
+			s.enqueuePacket(r, v, dst)
+		}
+	}
+	for s.tracePos < len(s.trace) && s.trace[s.tracePos].Cycle <= s.cycle {
+		ev := s.trace[s.tracePos]
+		s.tracePos++
+		if ev.Src == ev.Dst || ev.Src < 0 || ev.Src >= len(s.routers) ||
+			ev.Dst < 0 || ev.Dst >= len(s.routers) {
+			continue
+		}
+		s.enqueuePacket(s.routers[ev.Src], ev.Src, ev.Dst)
+	}
+}
+
+// adaptiveVC maps the policy's choice into the adaptive VC index range
+// [EscapeVCs, VCs).
+func (s *Sim) adaptiveVC(src, dst int) int {
+	span := s.cfg.VCs - s.cfg.EscapeVCs
+	var pick int
+	if s.cfg.VCPolicy != nil {
+		pick = s.cfg.VCPolicy(src, dst) % span
+		if pick < 0 {
+			pick += span
+		}
+	} else {
+		pick = int(s.nextID) % span
+	}
+	return s.cfg.EscapeVCs + pick
+}
+
+func (s *Sim) enqueuePacket(r *router, src, dst int) {
+	s.enqueueSized(r, src, dst, s.cfg.PacketFlits, 0)
+}
+
+func (s *Sim) enqueueSized(r *router, src, dst, flits int, tag int64) {
+	p := &packet{
+		id:       s.nextID,
+		tag:      tag,
+		src:      src,
+		dst:      dst,
+		advc:     s.adaptiveVC(src, dst),
+		size:     flits,
+		injected: s.cycle,
+	}
+	s.nextID++
+	s.res.Injected++
+	for i := 0; i < p.size; i++ {
+		r.srcQ = append(r.srcQ, flit{pkt: p, vc: p.advc, head: i == 0, tail: i == p.size-1})
+	}
+}
+
+// Inject enqueues one packet of the given flit count at the current cycle;
+// closed-loop clients call it from OnDelivered callbacks or between Run
+// slices. The tag is echoed to OnDelivered when the packet arrives.
+func (s *Sim) Inject(src, dst, flits int, tag int64) error {
+	if src == dst || src < 0 || src >= len(s.routers) || dst < 0 || dst >= len(s.routers) {
+		return fmt.Errorf("netsim: invalid injection %d->%d", src, dst)
+	}
+	if flits <= 0 {
+		flits = s.cfg.PacketFlits
+	}
+	s.enqueueSized(s.routers[src], src, dst, flits, tag)
+	return nil
+}
+
+// drainSourceQueues moves flits from the unbounded source queues into the
+// injection-port input units when buffer space allows.
+func (s *Sim) drainSourceQueues() {
+	for _, r := range s.routers {
+		injPort := len(r.inUp) - 1
+		for len(r.srcQ) > 0 {
+			f := r.srcQ[0]
+			iu := &r.in[injPort*s.cfg.VCs+f.vc]
+			if len(iu.q) >= s.cfg.BufFlits {
+				break
+			}
+			iu.q = append(iu.q, f)
+			r.queued++
+			r.srcQ = r.srcQ[1:]
+			s.lastMove = s.cycle
+		}
+	}
+}
+
+// routeHeads assigns an output route and next-hop VC to every input unit
+// whose head flit starts a packet, and diverts starved heads to the escape
+// subnetwork for one hop (Duato's protocol: adaptive channels whenever
+// possible, escape as the always-available drainage; packets return to
+// adaptive routing at the next router).
+func (s *Sim) routeHeads(r *router) {
+	eject := len(r.outNbr) // virtual ejection port index
+	for i := range r.in {
+		iu := &r.in[i]
+		if len(iu.q) == 0 {
+			continue
+		}
+		f := iu.q[0]
+		if iu.route >= 0 {
+			// Divert a starved routed head to the escape subnetwork (only
+			// heads can be re-routed; bodies follow the committed path).
+			if f.head && iu.route != eject && iu.blocked >= s.cfg.EscapePatience &&
+				iu.outVC >= s.cfg.EscapeVCs {
+				s.assignEscape(r, iu, f.pkt)
+			}
+			continue
+		}
+		if !f.head {
+			// A body flit with no route can only be the orphan of a packet
+			// already dropped as unroutable; purge the remains silently.
+			s.purgeHeadPacket(r, i)
+			continue
+		}
+		if f.pkt.dst == r.id {
+			iu.route = eject
+			iu.outVC = f.vc
+			continue
+		}
+		if f.pkt.escaped {
+			// Committed to the escape subnetwork for the rest of the trip.
+			s.assignEscape(r, iu, f.pkt)
+			continue
+		}
+		cands := s.cfg.Alg.Candidates(r.id, f.pkt.dst)
+		if len(cands) == 0 {
+			// Unroutable on the adaptive network: try escape before
+			// dropping (reconfiguration windows).
+			if s.cfg.EscapeRoute != nil {
+				s.assignEscape(r, iu, f.pkt)
+				continue
+			}
+			s.purgeHeadPacket(r, i)
+			s.res.Dropped++
+			continue
+		}
+		if port := s.pickPort(r, f.pkt, cands); port >= 0 {
+			iu.route = port
+			iu.outVC = f.pkt.advc
+			iu.blocked = 0
+		} else {
+			s.purgeHeadPacket(r, i)
+			s.res.Dropped++
+		}
+	}
+}
+
+// assignEscape commits the packet to the escape subnetwork and routes its
+// next hop along it.
+func (s *Sim) assignEscape(r *router, iu *inputUnit, p *packet) {
+	next, escVC := s.escapeHop(r.id, p.dst)
+	port, ok := r.outPortOf[next]
+	if !ok {
+		// The escape function proposed a non-link; the packet is
+		// unroutable (should not happen on an intact escape subnetwork).
+		iu.route = -1
+		return
+	}
+	if !p.escaped {
+		p.escaped = true
+		s.res.Escaped++
+	}
+	iu.route = port
+	iu.outVC = escVC
+	iu.blocked = 0
+}
+
+// escapeHop resolves the escape next hop and VC.
+func (s *Sim) escapeHop(cur, dst int) (int, int) {
+	if s.cfg.EscapeRoute != nil {
+		next, v := s.cfg.EscapeRoute(cur, dst)
+		if v < 0 {
+			v = 0
+		}
+		if v >= s.cfg.EscapeVCs {
+			v = s.cfg.EscapeVCs - 1
+		}
+		return next, v
+	}
+	cands := s.cfg.Alg.Candidates(cur, dst)
+	if len(cands) == 0 {
+		return -1, 0
+	}
+	return cands[0], 0
+}
+
+// pickPort maps the candidate next hops to an output port, applying the
+// adaptive policy: below the occupancy threshold the deterministic first
+// candidate wins; above it, the candidate with the most downstream credits
+// (i.e. the lightest port counter) is chosen.
+func (s *Sim) pickPort(r *router, p *packet, cands []int) int {
+	first, ok := r.outPortOf[cands[0]]
+	if !ok {
+		// The algorithm proposed a non-link (stale tables mid-reconfig);
+		// fall back to any candidate that is a port.
+		for _, c := range cands[1:] {
+			if pt, ok2 := r.outPortOf[c]; ok2 {
+				return pt
+			}
+		}
+		return -2
+	}
+	adaptive := s.cfg.Adaptive == AdaptiveEveryHop ||
+		(s.cfg.Adaptive == AdaptiveFirstHop && r.id == p.src)
+	if !adaptive || len(cands) == 1 {
+		return first
+	}
+	occupied := s.cfg.BufFlits - r.credits[first*s.cfg.VCs+p.advc]
+	if float64(occupied) < s.cfg.AdaptiveThreshold*float64(s.cfg.BufFlits) {
+		return first // deterministic port below threshold: keep it
+	}
+	best, bestCred := first, r.credits[first*s.cfg.VCs+p.advc]
+	for _, c := range cands[1:] {
+		pt, ok := r.outPortOf[c]
+		if !ok {
+			continue
+		}
+		if cr := r.credits[pt*s.cfg.VCs+p.advc]; cr > bestCred {
+			best, bestCred = pt, cr
+		}
+	}
+	return best
+}
+
+// purgeHeadPacket removes every queued flit of the packet at the front of
+// an input unit, returning the freed buffer slots to the upstream router's
+// credit counters. Callers account the drop.
+func (s *Sim) purgeHeadPacket(r *router, unit int) {
+	iu := &r.in[unit]
+	if len(iu.q) == 0 {
+		return
+	}
+	p := iu.q[0].pkt
+	vc := unit % s.cfg.VCs
+	kept := iu.q[:0]
+	purged := 0
+	for _, f := range iu.q {
+		if f.pkt != p {
+			kept = append(kept, f)
+		} else {
+			purged++
+		}
+	}
+	iu.q = kept
+	r.queued -= purged
+	iu.route = -1
+	iu.blocked = 0
+	if up := r.inUp[unit/s.cfg.VCs]; up >= 0 && purged > 0 {
+		ur := s.routers[up]
+		ur.credits[ur.outPortOf[r.id]*s.cfg.VCs+vc] += purged
+	}
+}
+
+// arbitrate grants each output virtual channel to at most one input unit
+// per cycle, with per-packet channel ownership (wormhole discipline: once a
+// head flit claims an output VC, body flits of other packets cannot
+// interleave until the tail releases it) and round-robin fairness among
+// competing units. Each output port forwards at most one flit per cycle.
+func (s *Sim) arbitrate(r *router) {
+	nUnits := len(r.in)
+	eject := len(r.outNbr)
+	vcs := s.cfg.VCs
+	for out := 0; out <= eject; out++ {
+		for slot := 0; slot < s.cfg.LinkWidth; slot++ {
+			if !s.arbitrateSlot(r, out, nUnits, eject, vcs) {
+				break // no grant at this slot: later slots cannot grant either
+			}
+		}
+	}
+}
+
+// arbitrateSlot performs one grant on one output port and reports whether
+// a flit was forwarded.
+func (s *Sim) arbitrateSlot(r *router, out, nUnits, eject, vcs int) bool {
+	granted := -1
+	for k := 0; k < nUnits; k++ {
+		i := (r.rr[out] + k) % nUnits
+		iu := &r.in[i]
+		if len(iu.q) == 0 || iu.route != out {
+			continue
+		}
+		vc := iu.outVC
+		owner := r.outOwner[out*vcs+vc]
+		if owner >= 0 && owner != i {
+			s.noteBlocked(iu)
+			continue // another packet holds this output VC
+		}
+		if out < eject && r.credits[out*vcs+vc] <= 0 {
+			s.noteBlocked(iu)
+			continue // no downstream space
+		}
+		granted = i
+		break
+	}
+	if granted < 0 {
+		return false
+	}
+	r.rr[out] = (granted + 1) % nUnits
+	iu := &r.in[granted]
+	f := iu.q[0]
+	iu.q = iu.q[1:]
+	r.queued--
+	iu.blocked = 0
+	s.lastMove = s.cycle
+	outVC := iu.outVC
+	if f.head {
+		r.outOwner[out*vcs+outVC] = granted
+	}
+	if f.tail {
+		iu.route = -1
+		r.outOwner[out*vcs+outVC] = -1
+	}
+	// Return a credit to the upstream router for the freed slot; the
+	// freed buffer is the unit's own VC, not the outgoing VC.
+	unitVC := granted % vcs
+	up := r.inUp[granted/vcs]
+	if up >= 0 {
+		ur := s.routers[up]
+		ur.credits[ur.outPortOf[r.id]*vcs+unitVC]++
+	}
+	if out == eject {
+		s.res.FlitsDelivered++
+		if f.tail {
+			s.recordDelivery(f.pkt)
+		}
+		return true
+	}
+	// Send over the link on the outgoing VC.
+	r.credits[out*vcs+outVC]--
+	f.vc = outVC
+	lat := int64(s.linkLatency(r.id, r.outNbr[out]))
+	r.links[out] = append(r.links[out], inflight{f: f, arrive: s.cycle + lat})
+	s.res.FlitHops++
+	if f.head {
+		f.pkt.hops++
+	}
+	return true
+}
+
+// noteBlocked bumps the starvation counter of a unit whose head flit is
+// route-assigned but could not move this cycle.
+func (s *Sim) noteBlocked(iu *inputUnit) {
+	if len(iu.q) > 0 && iu.q[0].head {
+		iu.blocked++
+	}
+}
+
+// recordDelivery books a completed packet.
+func (s *Sim) recordDelivery(p *packet) {
+	lat := s.cycle - p.injected + 1
+	s.res.Delivered++
+	s.res.LatencySum += float64(lat)
+	s.res.LatencyHist.Observe(int(lat))
+	s.res.HopHist.Observe(p.hops)
+	if s.res.MinInjectLatency < 0 || lat < s.res.MinInjectLatency {
+		s.res.MinInjectLatency = lat
+	}
+	if s.cfg.OnDelivered != nil {
+		s.cfg.OnDelivered(p.src, p.dst, p.tag)
+	}
+}
+
+// inFlight returns the number of flits currently inside the network
+// (buffers, links, and source queues).
+func (s *Sim) inFlight() int {
+	total := 0
+	for _, r := range s.routers {
+		total += len(r.srcQ)
+		for i := range r.in {
+			total += len(r.in[i].q)
+		}
+		for _, q := range r.links {
+			total += len(q)
+		}
+	}
+	return total
+}
+
+// Cycle returns the current cycle count.
+func (s *Sim) Cycle() int64 { return s.cycle }
+
+// Results returns a snapshot of the accumulated metrics.
+func (s *Sim) Results() Results {
+	r := s.res
+	r.Cycles = s.cycle
+	r.Nodes = len(s.routers)
+	r.InFlight = s.inFlight()
+	return r
+}
+
+// ResetStats clears metrics (after warm-up) without disturbing network
+// state.
+func (s *Sim) ResetStats() {
+	s.res = Results{MinInjectLatency: -1}
+}

@@ -1,0 +1,137 @@
+package netsim
+
+import (
+	"repro/internal/stats"
+)
+
+// Results aggregates the metrics of one simulation window.
+type Results struct {
+	Nodes  int
+	Cycles int64
+
+	Injected       int64 // packets offered to source queues
+	Delivered      int64 // packets fully ejected
+	Dropped        int64 // packets dropped as unroutable (reconfig windows)
+	Escaped        int64 // escape-subnetwork diversions (deadlock pressure)
+	FlitsDelivered int64
+	FlitHops       int64 // total flit link traversals (energy proxy)
+	InFlight       int   // flits still inside at snapshot time
+
+	LatencySum       float64
+	LatencyHist      stats.Histogram // packet latency in cycles
+	HopHist          stats.Histogram // per-packet hop counts
+	MinInjectLatency int64
+	Deadlocked       bool
+}
+
+// AvgLatencyCycles returns the mean packet latency in cycles.
+func (r Results) AvgLatencyCycles() float64 {
+	if r.Delivered == 0 {
+		return 0
+	}
+	return r.LatencySum / float64(r.Delivered)
+}
+
+// AvgLatencyNs returns the mean packet latency in nanoseconds at the 312.5
+// MHz network clock.
+func (r Results) AvgLatencyNs() float64 { return r.AvgLatencyCycles() * CycleNs }
+
+// AvgHops returns the mean hop count of delivered packets.
+func (r Results) AvgHops() float64 { return r.HopHist.Mean() }
+
+// ThroughputFlitsPerNodeCycle returns delivered flits per node per cycle.
+func (r Results) ThroughputFlitsPerNodeCycle() float64 {
+	if r.Cycles == 0 || r.Nodes == 0 {
+		return 0
+	}
+	return float64(r.FlitsDelivered) / float64(r.Cycles) / float64(r.Nodes)
+}
+
+// DeliveredFraction returns delivered/injected packets for the window.
+func (r Results) DeliveredFraction() float64 {
+	if r.Injected == 0 {
+		return 0
+	}
+	return float64(r.Delivered) / float64(r.Injected)
+}
+
+// RunMeasured runs warmup cycles, clears statistics, then runs measure
+// cycles and returns the measured-window results.
+func (s *Sim) RunMeasured(warmup, measure int64) Results {
+	s.Run(warmup)
+	s.ResetStats()
+	s.Run(measure)
+	return s.Results()
+}
+
+// SaturationConfig controls the injection-rate sweep used to locate a
+// topology's saturation point (Figure 10's metric).
+type SaturationConfig struct {
+	// Step is the injection-rate granularity of the sweep (default 0.05).
+	Step float64
+	// Warmup and Measure are per-point cycle budgets.
+	Warmup, Measure int64
+	// LatencyCapCycles declares saturation when mean latency exceeds it
+	// (default 400 cycles).
+	LatencyCapCycles float64
+	// MinDelivered declares saturation when the delivered fraction of the
+	// measured window drops below it (default 0.75).
+	MinDelivered float64
+}
+
+func (c *SaturationConfig) fill() {
+	if c.Step <= 0 {
+		c.Step = 0.05
+	}
+	if c.Warmup <= 0 {
+		c.Warmup = 1500
+	}
+	if c.Measure <= 0 {
+		c.Measure = 4000
+	}
+	if c.LatencyCapCycles <= 0 {
+		c.LatencyCapCycles = 400
+	}
+	if c.MinDelivered <= 0 {
+		c.MinDelivered = 0.75
+	}
+}
+
+// FindSaturation sweeps injection rates from Step upward and returns the
+// highest rate (fraction of cycles each node injects a packet) that the
+// network sustains: mean latency under the cap and deliveries tracking
+// injections. factory must return a fresh simulator with the pattern
+// installed at the given rate.
+func FindSaturation(cfg SaturationConfig, factory func(rate float64) (*Sim, error)) (float64, error) {
+	cfg.fill()
+	sat := 0.0
+	for i := 1; ; i++ {
+		rate := cfg.Step * float64(i)
+		if rate > 1 {
+			break
+		}
+		if rate > 1-1e-9 {
+			rate = 1
+		}
+		sim, err := factory(rate)
+		if err != nil {
+			return 0, err
+		}
+		res := sim.RunMeasured(cfg.Warmup, cfg.Measure)
+		if res.Deadlocked {
+			break
+		}
+		if res.Delivered == 0 {
+			break
+		}
+		if res.AvgLatencyCycles() > cfg.LatencyCapCycles {
+			break
+		}
+		// Compare deliveries against the steady-state offered load.
+		if res.DeliveredFraction() < cfg.MinDelivered {
+			break
+		}
+		sat = rate
+	}
+	return sat, nil
+}

@@ -1,0 +1,117 @@
+package placement
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/topology"
+)
+
+// MetaCube models the clustered physical organization of Section IV: memory
+// nodes with short Space-0 circular distances are integrated on the same
+// interposer ("MetaCube", after Poremba et al.), and inter-cluster links are
+// implemented by the topology's long-circular-distance connections. Wires
+// inside a MetaCube are interposer-short; wires between MetaCubes ride the
+// PCB and pay the long-wire latency when the cube centers are far apart on
+// the board grid.
+type MetaCube struct {
+	// CubeOf[v] is node v's cluster index.
+	CubeOf []int
+	// Members[c] lists the nodes of cluster c.
+	Members [][]int
+	// Board places the cube centers on a 2D grid.
+	Board *Grid
+	// CubeSize is the nodes-per-cube target.
+	CubeSize int
+}
+
+// NewMetaCube clusters a String Figure network into interposer groups of
+// the given size by consecutive Space-0 rank (short circular distance =
+// same cube, the Section IV rule) and places the cubes on a near-square
+// board grid in rank order.
+func NewMetaCube(sf *topology.StringFigure, cubeSize int) (*MetaCube, error) {
+	n := sf.Cfg.N
+	if cubeSize < 1 || cubeSize > n {
+		return nil, fmt.Errorf("placement: cube size %d out of range for %d nodes", cubeSize, n)
+	}
+	cubes := (n + cubeSize - 1) / cubeSize
+	m := &MetaCube{
+		CubeOf:   make([]int, n),
+		Members:  make([][]int, cubes),
+		CubeSize: cubeSize,
+	}
+	for rank := 0; rank < n; rank++ {
+		v := sf.Order[0][rank]
+		c := rank / cubeSize
+		m.CubeOf[v] = c
+		m.Members[c] = append(m.Members[c], v)
+	}
+	// Place cube centers on a snake grid so consecutive cubes (which share
+	// the most ring links) are physically adjacent.
+	cols := 1
+	for cols*cols < cubes {
+		cols++
+	}
+	rows := (cubes + cols - 1) / cols
+	board := &Grid{N: cubes, Rows: rows, Cols: cols, Pos: make([][2]int, cubes)}
+	for c := 0; c < cubes; c++ {
+		r := c / cols
+		col := c % cols
+		if r%2 == 1 {
+			col = cols - 1 - col
+		}
+		board.Pos[c] = [2]int{r, col}
+	}
+	m.Board = board
+	return m, nil
+}
+
+// Cubes returns the number of MetaCubes.
+func (m *MetaCube) Cubes() int { return len(m.Members) }
+
+// SameCube reports whether two nodes share an interposer.
+func (m *MetaCube) SameCube(u, v int) bool { return m.CubeOf[u] == m.CubeOf[v] }
+
+// LinkLatency returns a netsim latency function: intra-cube wires cost the
+// base hop latency; inter-cube wires add one cycle, plus another when the
+// cube centers exceed the long-wire reach on the board.
+func (m *MetaCube) LinkLatency(base int) func(u, v int) int {
+	return func(u, v int) int {
+		cu, cv := m.CubeOf[u], m.CubeOf[v]
+		if cu == cv {
+			return base
+		}
+		lat := base + 1
+		if m.Board.WireLength(cu, cv) > LongWireGridUnits {
+			lat++
+		}
+		return lat
+	}
+}
+
+// IntraCubeFraction returns the fraction of a topology's directed links
+// that stay inside a MetaCube — the placement-quality metric: the Space-0
+// ring clustering should keep a sizable share of ring links on-interposer.
+func (m *MetaCube) IntraCubeFraction(links []topology.Link) float64 {
+	if len(links) == 0 {
+		return 0
+	}
+	intra := 0
+	for _, l := range links {
+		if m.SameCube(l.From, l.To) {
+			intra++
+		}
+	}
+	return float64(intra) / float64(len(links))
+}
+
+// CubeLoads returns the member count per cube, sorted descending —
+// useful to verify balanced clustering.
+func (m *MetaCube) CubeLoads() []int {
+	loads := make([]int, len(m.Members))
+	for c, mem := range m.Members {
+		loads[c] = len(mem)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(loads)))
+	return loads
+}

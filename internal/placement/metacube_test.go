@@ -1,0 +1,148 @@
+package placement
+
+import (
+	"testing"
+
+	"repro/internal/topology"
+)
+
+func paperSF(t *testing.T, n int) *topology.StringFigure {
+	t.Helper()
+	sf, err := topology.NewPaperSF(n, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sf
+}
+
+func TestMetaCubeClustering(t *testing.T) {
+	sf := paperSF(t, 64)
+	m, err := NewMetaCube(sf, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Cubes() != 8 {
+		t.Fatalf("Cubes = %d, want 8", m.Cubes())
+	}
+	// Every node assigned exactly once.
+	seen := make(map[int]bool)
+	for _, members := range m.Members {
+		for _, v := range members {
+			if seen[v] {
+				t.Fatalf("node %d in two cubes", v)
+			}
+			seen[v] = true
+		}
+	}
+	if len(seen) != 64 {
+		t.Fatalf("assigned %d nodes, want 64", len(seen))
+	}
+	// Balanced loads.
+	loads := m.CubeLoads()
+	if loads[0] != 8 || loads[len(loads)-1] != 8 {
+		t.Errorf("unbalanced cubes: %v", loads)
+	}
+}
+
+func TestMetaCubeRingLocality(t *testing.T) {
+	// Space-0 ring links connect rank-adjacent nodes, so clustering by
+	// rank must keep most Space-0 ring links intra-cube.
+	sf := paperSF(t, 128)
+	m, err := NewMetaCube(sf, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var space0 []topology.Link
+	for _, l := range sf.Rings {
+		if l.Space == 0 {
+			space0 = append(space0, l)
+		}
+	}
+	frac := m.IntraCubeFraction(space0)
+	// 16-node cubes cut the 128-ring at 8 boundaries: 120/128 intra.
+	if frac < 0.9 {
+		t.Errorf("space-0 intra-cube fraction = %v, want >= 0.9", frac)
+	}
+	// Random-space links should be far less local.
+	var space1 []topology.Link
+	for _, l := range sf.Rings {
+		if l.Space == 1 {
+			space1 = append(space1, l)
+		}
+	}
+	if f1 := m.IntraCubeFraction(space1); f1 >= frac {
+		t.Errorf("space-1 locality (%v) should be below space-0 (%v)", f1, frac)
+	}
+}
+
+func TestMetaCubeLatency(t *testing.T) {
+	sf := paperSF(t, 64)
+	m, err := NewMetaCube(sf, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lat := m.LinkLatency(2)
+	// Find an intra-cube pair and an inter-cube pair.
+	var intraU, intraV, interU, interV int
+	intraU = -1
+	interU = -1
+	for u := 0; u < 64 && (intraU < 0 || interU < 0); u++ {
+		for v := 0; v < 64; v++ {
+			if u == v {
+				continue
+			}
+			if m.SameCube(u, v) && intraU < 0 {
+				intraU, intraV = u, v
+			}
+			if !m.SameCube(u, v) && interU < 0 {
+				interU, interV = u, v
+			}
+		}
+	}
+	if got := lat(intraU, intraV); got != 2 {
+		t.Errorf("intra-cube latency = %d, want 2", got)
+	}
+	if got := lat(interU, interV); got < 3 {
+		t.Errorf("inter-cube latency = %d, want >= 3", got)
+	}
+}
+
+func TestMetaCubeValidation(t *testing.T) {
+	sf := paperSF(t, 16)
+	if _, err := NewMetaCube(sf, 0); err == nil {
+		t.Error("cube size 0 should fail")
+	}
+	if _, err := NewMetaCube(sf, 17); err == nil {
+		t.Error("cube size > N should fail")
+	}
+	m, err := NewMetaCube(sf, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Cubes() != 1 {
+		t.Errorf("single cube expected, got %d", m.Cubes())
+	}
+	if m.IntraCubeFraction(sf.Rings) != 1 {
+		t.Error("single cube should contain every link")
+	}
+	if m.IntraCubeFraction(nil) != 0 {
+		t.Error("empty link list should yield 0")
+	}
+}
+
+func TestMetaCubeBoardPlacement(t *testing.T) {
+	sf := paperSF(t, 256)
+	m, err := NewMetaCube(sf, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Board.N != 16 {
+		t.Fatalf("board has %d cubes, want 16", m.Board.N)
+	}
+	// Consecutive cubes are physically adjacent on the snake grid.
+	for c := 0; c+1 < m.Cubes(); c++ {
+		if d := m.Board.WireLength(c, c+1); d > 1.01 {
+			t.Errorf("cubes %d,%d are %v apart, want adjacent", c, c+1, d)
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package placement
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/topology"
+)
+
+func topologyEmptyGraph(n int) *graph.Graph { return graph.New(n) }
+
+func TestPlaceAllCellsDistinct(t *testing.T) {
+	sf, err := topology.NewPaperSF(100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := sf.Graph()
+	grid := Place(g, 1, 2)
+	seen := make(map[[2]int]bool)
+	for v, pos := range grid.Pos {
+		if pos[0] < 0 || pos[0] >= grid.Rows || pos[1] < 0 || pos[1] >= grid.Cols {
+			t.Fatalf("node %d placed outside grid: %v", v, pos)
+		}
+		if seen[pos] {
+			t.Fatalf("cell %v used twice", pos)
+		}
+		seen[pos] = true
+	}
+}
+
+func TestPlacementBeatsRandomOrder(t *testing.T) {
+	sf, err := topology.NewPaperSF(144, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := sf.Graph()
+	grid := Place(g, 2, 3)
+	// A naive identity placement for comparison.
+	naive := &Grid{N: 144, Rows: grid.Rows, Cols: grid.Cols, Pos: make([][2]int, 144)}
+	for v := 0; v < 144; v++ {
+		naive.Pos[v] = [2]int{v / grid.Cols, v % grid.Cols}
+	}
+	if grid.MeanWireLength(g) > naive.MeanWireLength(g) {
+		t.Errorf("optimized placement (%.2f) worse than identity (%.2f)",
+			grid.MeanWireLength(g), naive.MeanWireLength(g))
+	}
+}
+
+func TestWireLengthSymmetry(t *testing.T) {
+	grid := &Grid{N: 2, Rows: 1, Cols: 2, Pos: [][2]int{{0, 0}, {0, 1}}}
+	if grid.WireLength(0, 1) != 1 || grid.WireLength(1, 0) != 1 {
+		t.Error("unit distance expected")
+	}
+}
+
+func TestLinkLatencyLongWires(t *testing.T) {
+	grid := &Grid{N: 2, Rows: 1, Cols: 20, Pos: [][2]int{{0, 0}, {0, 15}}}
+	lat := grid.LinkLatency(2)
+	if got := lat(0, 1); got != 3 {
+		t.Errorf("long wire latency = %d, want 3", got)
+	}
+	grid.Pos[1] = [2]int{0, 5}
+	if got := lat(0, 1); got != 2 {
+		t.Errorf("short wire latency = %d, want 2", got)
+	}
+}
+
+func TestLongWireFraction(t *testing.T) {
+	sf, err := topology.NewPaperSF(64, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := sf.Graph()
+	grid := Place(g, 5, 2)
+	frac := grid.LongWireFraction(g)
+	if frac < 0 || frac > 1 {
+		t.Fatalf("fraction out of range: %v", frac)
+	}
+	// An 8x8 grid has max distance ~9.9 < 10: no long wires possible.
+	if frac != 0 {
+		t.Errorf("64-node grid should have no >10-unit wires, got %v", frac)
+	}
+}
+
+func TestMeanWireLengthEmptyGraph(t *testing.T) {
+	grid := &Grid{N: 1, Rows: 1, Cols: 1, Pos: [][2]int{{0, 0}}}
+	gEmpty := topologyEmptyGraph(1)
+	if grid.MeanWireLength(gEmpty) != 0 {
+		t.Error("empty graph should have zero mean wire length")
+	}
+	if grid.LongWireFraction(gEmpty) != 0 {
+		t.Error("empty graph should have zero long-wire fraction")
+	}
+}

@@ -1,0 +1,134 @@
+package reconfig
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Governor is a utilization-driven power-management policy on top of the
+// reconfiguration engine — the control loop the paper motivates ("turning
+// on and off routers and corresponding links" for efficient power
+// management, Section II) but leaves unspecified. It observes per-node
+// memory traffic between epochs and gates the coldest nodes off (or wakes
+// nodes up) while respecting the reconfiguration interval and a protected
+// node set (CPU attachment points).
+type Governor struct {
+	Net *Network
+	// GateThreshold: nodes whose epoch traffic share falls below this
+	// fraction of the mean become gating candidates.
+	GateThreshold float64
+	// WakeThreshold: when mean per-alive-node traffic exceeds this multiple
+	// of the target load, gated nodes are woken.
+	WakeThreshold float64
+	// MinAlive bounds how far the governor may shrink the network.
+	MinAlive int
+	// Protected nodes are never gated (CPU attachment points).
+	Protected map[int]bool
+
+	// lastEpochNs tracks the reconfiguration minimum interval.
+	lastEpochNs float64
+	// refLoad is the mean per-node load recorded at the last gating
+	// decision; the wake path compares against it.
+	refLoad float64
+
+	// Stats
+	GatedOff int
+	Woken    int
+	Skipped  int
+}
+
+// NewGovernor builds a governor with the paper-derived defaults: gate nodes
+// under 25% of mean load, wake when load doubles, keep at least a quarter
+// of the network alive.
+func NewGovernor(net *Network, protected []int) *Governor {
+	p := make(map[int]bool, len(protected))
+	for _, v := range protected {
+		p[v] = true
+	}
+	minAlive := net.SF.Cfg.N / 4
+	if minAlive < 2 {
+		minAlive = 2
+	}
+	return &Governor{
+		Net:           net,
+		GateThreshold: 0.25,
+		WakeThreshold: 2.0,
+		MinAlive:      minAlive,
+		Protected:     p,
+	}
+}
+
+// Epoch runs one governor decision at the given wall-clock time (ns) with
+// the epoch's per-node traffic counts (requests served per node). It
+// returns the nodes gated off and woken this epoch.
+func (g *Governor) Epoch(nowNs float64, traffic []int64) (gated, woken []int, err error) {
+	n := g.Net.SF.Cfg.N
+	if len(traffic) != n {
+		return nil, nil, fmt.Errorf("reconfig: traffic vector has %d entries, want %d", len(traffic), n)
+	}
+	if nowNs-g.lastEpochNs < g.Net.Timing.MinIntervalNs {
+		g.Skipped++
+		return nil, nil, nil // respect the 100us reconfiguration interval
+	}
+
+	var total int64
+	alive := 0
+	for v := 0; v < n; v++ {
+		if g.Net.Alive(v) {
+			total += traffic[v]
+			alive++
+		}
+	}
+	if alive == 0 {
+		return nil, nil, fmt.Errorf("reconfig: no alive nodes")
+	}
+	mean := float64(total) / float64(alive)
+
+	// Wake path: load has grown well past what it was when capacity was
+	// last removed, so bring nodes back.
+	if g.refLoad > 0 && g.Net.AliveCount() < n && mean >= g.WakeThreshold*g.refLoad {
+		for v := 0; v < n && len(woken) < 2; v++ {
+			if !g.Net.Alive(v) {
+				if err := g.Net.GateOn(v); err != nil {
+					return gated, woken, err
+				}
+				woken = append(woken, v)
+				g.Woken++
+			}
+		}
+		g.lastEpochNs = nowNs
+		return gated, woken, nil
+	}
+
+	// Gate path: coldest non-protected nodes below threshold, at most two
+	// per epoch (each gate is one atomic reconfiguration).
+	type load struct {
+		v int
+		t int64
+	}
+	var cands []load
+	for v := 0; v < n; v++ {
+		if !g.Net.Alive(v) || g.Protected[v] {
+			continue
+		}
+		if float64(traffic[v]) < g.GateThreshold*mean {
+			cands = append(cands, load{v, traffic[v]})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].t < cands[j].t })
+	for _, c := range cands {
+		if len(gated) >= 2 || g.Net.AliveCount() <= g.MinAlive {
+			break
+		}
+		if err := g.Net.GateOff(c.v); err != nil {
+			return gated, woken, err
+		}
+		gated = append(gated, c.v)
+		g.GatedOff++
+	}
+	if len(gated) > 0 {
+		g.lastEpochNs = nowNs
+		g.refLoad = mean
+	}
+	return gated, woken, nil
+}

@@ -1,0 +1,143 @@
+package reconfig
+
+import (
+	"testing"
+
+	"repro/internal/topology"
+)
+
+func newGovernorNet(t *testing.T, n int) (*Network, *Governor) {
+	t.Helper()
+	sf, err := topology.NewStringFigure(topology.Config{
+		N: n, Ports: 4, Seed: 5, Shortcuts: true, Bidirectional: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := New(sf)
+	return net, NewGovernor(net, []int{0})
+}
+
+// trafficVec builds a traffic vector where the listed cold nodes see zero
+// requests and everyone else sees `hot`.
+func trafficVec(n int, hot int64, cold ...int) []int64 {
+	v := make([]int64, n)
+	for i := range v {
+		v[i] = hot
+	}
+	for _, c := range cold {
+		v[c] = 0
+	}
+	return v
+}
+
+func TestGovernorGatesColdNodes(t *testing.T) {
+	net, g := newGovernorNet(t, 32)
+	gated, woken, err := g.Epoch(200_000, trafficVec(32, 100, 5, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(woken) != 0 {
+		t.Errorf("woke %v on a gating epoch", woken)
+	}
+	if len(gated) != 2 {
+		t.Fatalf("gated %v, want the two cold nodes", gated)
+	}
+	for _, v := range gated {
+		if v != 5 && v != 9 {
+			t.Errorf("gated unexpected node %d", v)
+		}
+		if net.Alive(v) {
+			t.Errorf("node %d still alive after gating", v)
+		}
+	}
+	// Delivery still works among alive nodes.
+	routeAllAlive(t, net)
+}
+
+func TestGovernorRespectsProtectedAndMinAlive(t *testing.T) {
+	net, g := newGovernorNet(t, 16)
+	g.MinAlive = 15
+	// Node 0 is protected and cold; node 3 cold.
+	gated, _, err := g.Epoch(200_000, trafficVec(16, 50, 0, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range gated {
+		if v == 0 {
+			t.Error("protected node gated")
+		}
+	}
+	if net.AliveCount() < 15 {
+		t.Errorf("governor shrank below MinAlive: %d", net.AliveCount())
+	}
+}
+
+func TestGovernorMinInterval(t *testing.T) {
+	_, g := newGovernorNet(t, 16)
+	if _, _, err := g.Epoch(200_000, trafficVec(16, 50, 3)); err != nil {
+		t.Fatal(err)
+	}
+	// Second epoch 10us later: inside the 100us window, must skip.
+	gated, _, err := g.Epoch(210_000, trafficVec(16, 50, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gated) != 0 || g.Skipped != 1 {
+		t.Errorf("interval not respected: gated=%v skipped=%d", gated, g.Skipped)
+	}
+	// Past the window it works again.
+	gated, _, err = g.Epoch(400_000, trafficVec(16, 50, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gated) == 0 {
+		t.Error("gating blocked after the interval elapsed")
+	}
+}
+
+func TestGovernorWakesUnderLoad(t *testing.T) {
+	net, g := newGovernorNet(t, 16)
+	if _, _, err := g.Epoch(200_000, trafficVec(16, 50, 3, 7)); err != nil {
+		t.Fatal(err)
+	}
+	if net.AliveCount() != 14 {
+		t.Fatalf("AliveCount = %d, want 14", net.AliveCount())
+	}
+	// Load triples relative to the gating epoch: wake path triggers.
+	_, woken, err := g.Epoch(400_000, trafficVec(16, 150))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(woken) == 0 {
+		t.Fatal("no nodes woken under tripled load")
+	}
+	for _, v := range woken {
+		if !net.Alive(v) {
+			t.Errorf("woken node %d not alive", v)
+		}
+	}
+}
+
+func TestGovernorValidation(t *testing.T) {
+	_, g := newGovernorNet(t, 16)
+	if _, _, err := g.Epoch(200_000, make([]int64, 3)); err == nil {
+		t.Error("wrong traffic vector length should fail")
+	}
+}
+
+func TestGovernorStableUnderUniformLoad(t *testing.T) {
+	net, g := newGovernorNet(t, 24)
+	for epoch := 0; epoch < 5; epoch++ {
+		gated, woken, err := g.Epoch(float64(epoch+2)*200_000, trafficVec(24, 80))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(gated) != 0 || len(woken) != 0 {
+			t.Fatalf("epoch %d: governor acted (%v/%v) under uniform load", epoch, gated, woken)
+		}
+	}
+	if net.AliveCount() != 24 {
+		t.Errorf("network changed size under uniform load")
+	}
+}

@@ -1,0 +1,404 @@
+// Package reconfig implements the elastic network scale mechanisms of the
+// String Figure paper (Section III-C): dynamic reconfiguration for power
+// management (gating memory nodes off and on) and static network expansion
+// and reduction for design reuse. It owns the dynamic state of a deployed
+// network — which nodes are alive and which wires are switched in — and
+// drives the four-step atomic reconfiguration protocol against the routing
+// tables:
+//
+//  1. block the routing-table entries that refer to the affected node,
+//  2. disable/enable links (ring healing through shortcut wires and the
+//     mux-based topology switch of Figure 7),
+//  3. invalidate/validate and promote the corresponding entries,
+//  4. unblock the entries.
+//
+// The invariant maintained across every reconfiguration is that each virtual
+// space's ring is complete over the alive nodes, which preserves the Lemma 1
+// progress guarantee and therefore loop-free greedy delivery between any two
+// alive nodes.
+package reconfig
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/routing"
+	"repro/internal/topology"
+)
+
+// Timing captures the reconfiguration latencies the paper models: link sleep
+// 680 ns, link wake-up 5 us, and a minimum interval between reconfigurations
+// of 100 us (Section VI).
+type Timing struct {
+	LinkSleepNs   float64
+	LinkWakeNs    float64
+	MinIntervalNs float64
+}
+
+// DefaultTiming returns the paper's reconfiguration latencies.
+func DefaultTiming() Timing {
+	return Timing{LinkSleepNs: 680, LinkWakeNs: 5000, MinIntervalNs: 100_000}
+}
+
+// Stats counts reconfiguration work, including how many ring-healing links
+// were served by pre-provisioned shortcut wires versus the generic topology
+// switch.
+type Stats struct {
+	Reconfigs          int
+	LinksDisabled      int
+	LinksEnabled       int
+	HealedByShortcut   int
+	HealedBySwitch     int
+	EntriesBlocked     int
+	EntriesPromoted    int
+	EntriesInvalidated int
+	TablesRebuilt      int
+}
+
+// Network is a deployed String Figure network with elastic scale.
+type Network struct {
+	SF     *topology.StringFigure
+	Router *routing.Greediest
+	Timing Timing
+	Stats  Stats
+
+	alive []bool
+	out   [][]int // active out-adjacency, derived from SF + alive
+	// shortcutSet indexes the pre-provisioned shortcut wires for healing
+	// attribution.
+	shortcutSet map[[2]int]bool
+}
+
+// New deploys a String Figure network at full scale.
+func New(sf *topology.StringFigure) *Network {
+	n := &Network{
+		SF:          sf,
+		Timing:      DefaultTiming(),
+		alive:       make([]bool, sf.Cfg.N),
+		shortcutSet: make(map[[2]int]bool),
+	}
+	for i := range n.alive {
+		n.alive[i] = true
+	}
+	for _, l := range sf.Shortcuts {
+		n.shortcutSet[[2]int{l.From, l.To}] = true
+		if sf.Cfg.Bidirectional {
+			n.shortcutSet[[2]int{l.To, l.From}] = true
+		}
+	}
+	n.out = n.deriveAdjacency()
+	n.Router = routing.NewGreediest(sf, 0)
+	// The freshly built router tables already match the full-scale
+	// adjacency; recompute anyway so that dedup rules agree byte-for-byte
+	// with later incremental updates.
+	n.Router.Tables = routing.BuildTables(sf.Cfg.N, n.out)
+	return n
+}
+
+// Alive reports whether node v is powered on.
+func (n *Network) Alive(v int) bool { return n.alive[v] }
+
+// AliveSlice returns a copy of the alive mask.
+func (n *Network) AliveSlice() []bool { return append([]bool(nil), n.alive...) }
+
+// AliveCount returns the number of powered-on nodes.
+func (n *Network) AliveCount() int {
+	c := 0
+	for _, a := range n.alive {
+		if a {
+			c++
+		}
+	}
+	return c
+}
+
+// OutNeighbors returns the active out-adjacency (shared; do not modify).
+func (n *Network) OutNeighbors() [][]int { return n.out }
+
+// Graph returns the directed graph of currently active links.
+func (n *Network) Graph() *graph.Graph {
+	g := graph.New(n.SF.Cfg.N)
+	for u, nbrs := range n.out {
+		for _, v := range nbrs {
+			g.AddEdge(u, v)
+		}
+	}
+	return g
+}
+
+// deriveAdjacency computes the active out-adjacency from the design and the
+// alive mask: every alive node links to its alive clockwise successor in
+// each space (ring healing skips dead nodes), and extra pairing links stay
+// active while both endpoints are alive. Shortcut wires are exactly the
+// healed ring links whose Space-0 gap matches a pre-provisioned wire.
+func (n *Network) deriveAdjacency() [][]int {
+	sf := n.SF
+	N := sf.Cfg.N
+	outSet := make([]map[int]bool, N)
+	for v := 0; v < N; v++ {
+		outSet[v] = make(map[int]bool, sf.Spaces+2)
+	}
+	add := func(u, v int) {
+		if u == v || u < 0 || v < 0 {
+			return
+		}
+		outSet[u][v] = true
+		if sf.Cfg.Bidirectional {
+			outSet[v][u] = true
+		}
+	}
+	for s := 0; s < sf.Spaces; s++ {
+		for v := 0; v < N; v++ {
+			if !n.alive[v] {
+				continue
+			}
+			add(v, sf.Successor(s, v, n.alive))
+		}
+	}
+	for _, l := range sf.Extras {
+		if n.alive[l.From] && n.alive[l.To] {
+			add(l.From, l.To)
+		}
+	}
+	out := make([][]int, N)
+	for v := 0; v < N; v++ {
+		if len(outSet[v]) == 0 {
+			continue
+		}
+		nbrs := make([]int, 0, len(outSet[v]))
+		for w := range outSet[v] {
+			nbrs = append(nbrs, w)
+		}
+		sortInts(nbrs)
+		out[v] = nbrs
+	}
+	return out
+}
+
+// GateOff powers node v down, running the four-step reconfiguration
+// protocol. It refuses to gate the last alive node or to disconnect the
+// network.
+func (n *Network) GateOff(v int) error {
+	if v < 0 || v >= len(n.alive) {
+		return fmt.Errorf("reconfig: node %d out of range", v)
+	}
+	if !n.alive[v] {
+		return fmt.Errorf("reconfig: node %d already off", v)
+	}
+	if n.AliveCount() <= 2 {
+		return fmt.Errorf("reconfig: refusing to gate node %d below two alive nodes", v)
+	}
+	n.alive[v] = false
+	n.applyReconfig(v)
+	return nil
+}
+
+// GateOn powers node v back up, reversing GateOff with the same protocol.
+func (n *Network) GateOn(v int) error {
+	if v < 0 || v >= len(n.alive) {
+		return fmt.Errorf("reconfig: node %d out of range", v)
+	}
+	if n.alive[v] {
+		return fmt.Errorf("reconfig: node %d already on", v)
+	}
+	n.alive[v] = true
+	n.applyReconfig(v)
+	return nil
+}
+
+// SetAlive applies a bulk alive mask — the static expansion/reduction path
+// for design reuse: a network fabricated for N nodes deploys with a subset
+// mounted, and later mounts (or unmounts) nodes without refabrication.
+func (n *Network) SetAlive(alive []bool) error {
+	if len(alive) != len(n.alive) {
+		return fmt.Errorf("reconfig: alive mask has %d entries, want %d", len(alive), len(n.alive))
+	}
+	count := 0
+	for _, a := range alive {
+		if a {
+			count++
+		}
+	}
+	if count < 2 {
+		return fmt.Errorf("reconfig: need at least two mounted nodes, got %d", count)
+	}
+	copy(n.alive, alive)
+	n.rebuildAll()
+	return nil
+}
+
+// applyReconfig executes the four-step protocol around a single-node state
+// change and updates adjacency, tables and statistics.
+func (n *Network) applyReconfig(v int) {
+	n.Stats.Reconfigs++
+
+	// Step 1: block entries referring to v in every alive router.
+	for u, tb := range n.Router.Tables {
+		if n.alive[u] || u == v {
+			n.Stats.EntriesBlocked += tb.Block(v)
+		}
+	}
+
+	// Step 2: enable/disable links.
+	oldOut := n.out
+	newOut := n.deriveAdjacency()
+	disabled, enabled := diffAdjacency(oldOut, newOut)
+	n.Stats.LinksDisabled += len(disabled)
+	n.Stats.LinksEnabled += len(enabled)
+	for _, l := range enabled {
+		if n.shortcutSet[l] {
+			n.Stats.HealedByShortcut++
+		} else if !n.isBaseLink(l) {
+			n.Stats.HealedBySwitch++
+		}
+	}
+	n.out = newOut
+
+	// Step 3: invalidate/validate entries. Rebuild the tables of every
+	// router whose one- or two-hop neighborhood changed; hardware performs
+	// this as local bit flips (Promote) plus entry validation, which we
+	// count before rebuilding.
+	changed := make(map[int]bool)
+	for _, l := range disabled {
+		changed[l[0]] = true
+		changed[l[1]] = true
+	}
+	for _, l := range enabled {
+		changed[l[0]] = true
+		changed[l[1]] = true
+	}
+	affected := n.affectedRouters(changed, oldOut, newOut)
+	for u := range affected {
+		tb := n.Router.Tables[u]
+		n.Stats.EntriesInvalidated += tb.Invalidate(v)
+		if !n.alive[v] {
+			// The paper's fast path: former two-hop neighbors that
+			// became one-hop neighbors are promoted by flipping hop#.
+			for _, w := range n.out[u] {
+				if tb.Promote(w) {
+					n.Stats.EntriesPromoted++
+				}
+			}
+		}
+		n.rebuildTable(u)
+	}
+	n.Stats.TablesRebuilt += len(affected)
+
+	// Step 4: unblock.
+	for u, tb := range n.Router.Tables {
+		if n.alive[u] || u == v {
+			tb.Unblock(v)
+		}
+	}
+}
+
+// isBaseLink reports whether the directed wire l exists in the full-scale
+// base topology (rings + extras).
+func (n *Network) isBaseLink(l [2]int) bool {
+	for _, b := range n.SF.BaseLinks() {
+		if b.From == l[0] && b.To == l[1] {
+			return true
+		}
+		if n.SF.Cfg.Bidirectional && b.From == l[1] && b.To == l[0] {
+			return true
+		}
+	}
+	return false
+}
+
+// affectedRouters returns the alive routers whose tables are stale: those
+// with changed out-links, or with a neighbor (old or new) whose out-links
+// changed.
+func (n *Network) affectedRouters(changed map[int]bool, oldOut, newOut [][]int) map[int]bool {
+	affected := make(map[int]bool)
+	for u := range n.out {
+		if !n.alive[u] {
+			continue
+		}
+		if changed[u] {
+			affected[u] = true
+			continue
+		}
+		for _, w := range oldOut[u] {
+			if changed[w] {
+				affected[u] = true
+				break
+			}
+		}
+		if affected[u] {
+			continue
+		}
+		for _, w := range newOut[u] {
+			if changed[w] {
+				affected[u] = true
+				break
+			}
+		}
+	}
+	return affected
+}
+
+// rebuildTable reconstructs router u's table from the active adjacency.
+func (n *Network) rebuildTable(u int) {
+	t := routing.NewTable(u)
+	for _, w := range n.out[u] {
+		t.Add(w, -1, false)
+	}
+	for _, w := range n.out[u] {
+		for _, x := range n.out[w] {
+			if x != u && x != w {
+				t.Add(x, w, true)
+			}
+		}
+	}
+	n.Router.Tables[u] = t
+}
+
+// rebuildAll recomputes adjacency and all tables (bulk static path).
+func (n *Network) rebuildAll() {
+	n.Stats.Reconfigs++
+	n.out = n.deriveAdjacency()
+	n.Router.Tables = routing.BuildTables(n.SF.Cfg.N, n.out)
+	n.Stats.TablesRebuilt += n.AliveCount()
+}
+
+// ReconfigLatencyNs returns the modeled wall-clock cost of one
+// reconfiguration: disabling links costs a sleep transition, enabling costs
+// a wake-up, serialized per the atomic protocol.
+func (n *Network) ReconfigLatencyNs(linksDisabled, linksEnabled int) float64 {
+	return float64(linksDisabled)*n.Timing.LinkSleepNs + float64(linksEnabled)*n.Timing.LinkWakeNs
+}
+
+// diffAdjacency returns the directed links present in old but not new
+// (disabled) and present in new but not old (enabled).
+func diffAdjacency(oldOut, newOut [][]int) (disabled, enabled [][2]int) {
+	for u := range oldOut {
+		oldSet := make(map[int]bool, len(oldOut[u]))
+		for _, w := range oldOut[u] {
+			oldSet[w] = true
+		}
+		newSet := make(map[int]bool, len(newOut[u]))
+		for _, w := range newOut[u] {
+			newSet[w] = true
+		}
+		for _, w := range oldOut[u] {
+			if !newSet[w] {
+				disabled = append(disabled, [2]int{u, w})
+			}
+		}
+		for _, w := range newOut[u] {
+			if !oldSet[w] {
+				enabled = append(enabled, [2]int{u, w})
+			}
+		}
+	}
+	return disabled, enabled
+}
+
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

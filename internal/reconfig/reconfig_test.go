@@ -1,0 +1,297 @@
+package reconfig
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/topology"
+)
+
+func deploy(t *testing.T, cfg topology.Config) *Network {
+	t.Helper()
+	sf, err := topology.NewStringFigure(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(sf)
+}
+
+// routeAllAlive checks greedy delivery between every alive pair.
+func routeAllAlive(t *testing.T, n *Network) {
+	t.Helper()
+	N := n.SF.Cfg.N
+	for src := 0; src < N; src++ {
+		if !n.Alive(src) {
+			continue
+		}
+		for dst := 0; dst < N; dst++ {
+			if src == dst || !n.Alive(dst) {
+				continue
+			}
+			if _, err := n.Router.Route(src, dst); err != nil {
+				t.Fatalf("route %d->%d failed: %v", src, dst, err)
+			}
+		}
+	}
+}
+
+func TestFullScaleDeployment(t *testing.T) {
+	n := deploy(t, topology.Config{N: 40, Ports: 4, Seed: 1, Shortcuts: true})
+	if n.AliveCount() != 40 {
+		t.Fatalf("AliveCount = %d, want 40", n.AliveCount())
+	}
+	if !n.Graph().StronglyConnected() {
+		t.Fatal("full-scale network not strongly connected")
+	}
+	routeAllAlive(t, n)
+}
+
+func TestGateOffPreservesDelivery(t *testing.T) {
+	n := deploy(t, topology.Config{N: 30, Ports: 4, Seed: 7, Shortcuts: true})
+	for _, v := range []int{5, 12, 29} {
+		if err := n.GateOff(v); err != nil {
+			t.Fatalf("GateOff(%d): %v", v, err)
+		}
+		sub := n.Graph().InducedSubgraph(n.AliveSlice())
+		_ = sub
+		routeAllAlive(t, n)
+	}
+	if n.AliveCount() != 27 {
+		t.Errorf("AliveCount = %d, want 27", n.AliveCount())
+	}
+	if n.Stats.Reconfigs != 3 {
+		t.Errorf("Reconfigs = %d, want 3", n.Stats.Reconfigs)
+	}
+}
+
+func TestGateOffAdjacentNodes(t *testing.T) {
+	// Gating consecutive Space-0 ring neighbors exercises multi-node gap
+	// healing (the 4-hop shortcut case).
+	n := deploy(t, topology.Config{N: 24, Ports: 4, Seed: 3, Shortcuts: true})
+	// Pick three consecutive nodes in space 0.
+	a := n.SF.Order[0][4]
+	b := n.SF.Order[0][5]
+	c := n.SF.Order[0][6]
+	for _, v := range []int{a, b, c} {
+		if err := n.GateOff(v); err != nil {
+			t.Fatalf("GateOff(%d): %v", v, err)
+		}
+	}
+	routeAllAlive(t, n)
+	// The Space-0 ring over alive nodes must connect rank 3 to rank 7.
+	u := n.SF.Order[0][3]
+	w := n.SF.Order[0][7]
+	if got := n.SF.Successor(0, u, n.AliveSlice()); got != w {
+		t.Errorf("healed successor of %d = %d, want %d", u, got, w)
+	}
+}
+
+func TestGateOnRestoresOriginalAdjacency(t *testing.T) {
+	n := deploy(t, topology.Config{N: 25, Ports: 8, Seed: 11, Shortcuts: true})
+	orig := make([][]int, 25)
+	for v, nbrs := range n.OutNeighbors() {
+		orig[v] = append([]int(nil), nbrs...)
+	}
+	for _, v := range []int{3, 17} {
+		if err := n.GateOff(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, v := range []int{17, 3} {
+		if err := n.GateOn(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !reflect.DeepEqual(orig, n.OutNeighbors()) {
+		t.Error("gate off/on cycle did not restore the original adjacency")
+	}
+	routeAllAlive(t, n)
+}
+
+func TestGateOffErrors(t *testing.T) {
+	n := deploy(t, topology.Config{N: 6, Ports: 4, Seed: 1})
+	if err := n.GateOff(-1); err == nil {
+		t.Error("GateOff(-1) should fail")
+	}
+	if err := n.GateOff(6); err == nil {
+		t.Error("GateOff(out of range) should fail")
+	}
+	if err := n.GateOff(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.GateOff(0); err == nil {
+		t.Error("double GateOff should fail")
+	}
+	if err := n.GateOn(1); err == nil {
+		t.Error("GateOn of alive node should fail")
+	}
+	// Gate down to two nodes, then refuse.
+	for v := 1; v < 4; v++ {
+		if err := n.GateOff(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := n.GateOff(4); err == nil {
+		t.Error("gating below two alive nodes should fail")
+	}
+}
+
+func TestShortcutHealingAttribution(t *testing.T) {
+	// Gate off many single nodes; at least some healings must ride the
+	// pre-provisioned 2-hop shortcut wires.
+	n := deploy(t, topology.Config{N: 60, Ports: 4, Seed: 2, Shortcuts: true})
+	rng := rand.New(rand.NewSource(9))
+	gated := 0
+	for gated < 15 {
+		v := rng.Intn(60)
+		if !n.Alive(v) {
+			continue
+		}
+		if err := n.GateOff(v); err != nil {
+			t.Fatal(err)
+		}
+		gated++
+	}
+	if n.Stats.HealedByShortcut == 0 {
+		t.Errorf("no healing used shortcut wires (stats: %+v)", n.Stats)
+	}
+	routeAllAlive(t, n)
+}
+
+func TestStaticExpansionReduction(t *testing.T) {
+	// Design reuse: fabricate for 48, deploy 32, later mount the rest.
+	n := deploy(t, topology.Config{N: 48, Ports: 8, Seed: 5, Shortcuts: true})
+	mask := make([]bool, 48)
+	for i := 0; i < 32; i++ {
+		mask[i] = true
+	}
+	if err := n.SetAlive(mask); err != nil {
+		t.Fatal(err)
+	}
+	if n.AliveCount() != 32 {
+		t.Fatalf("AliveCount = %d, want 32", n.AliveCount())
+	}
+	routeAllAlive(t, n)
+	// Expansion: mount everything.
+	for i := range mask {
+		mask[i] = true
+	}
+	if err := n.SetAlive(mask); err != nil {
+		t.Fatal(err)
+	}
+	routeAllAlive(t, n)
+
+	if err := n.SetAlive(make([]bool, 48)); err == nil {
+		t.Error("SetAlive with zero mounted nodes should fail")
+	}
+	if err := n.SetAlive(make([]bool, 3)); err == nil {
+		t.Error("SetAlive with wrong mask length should fail")
+	}
+}
+
+func TestTablesMatchAdjacencyAfterReconfig(t *testing.T) {
+	n := deploy(t, topology.Config{N: 36, Ports: 4, Seed: 13, Shortcuts: true})
+	for _, v := range []int{1, 2, 3, 30} {
+		if err := n.GateOff(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out := n.OutNeighbors()
+	for u := 0; u < 36; u++ {
+		if !n.Alive(u) {
+			continue
+		}
+		tb := n.Router.Tables[u]
+		for _, w := range out[u] {
+			if !tb.HasOneHop(w) {
+				t.Errorf("node %d: active link to %d missing from table", u, w)
+			}
+		}
+		// No one-hop entry may point at a dead node or a non-link.
+		for _, e := range tb.Entries() {
+			if e.TwoHop || !e.Valid || e.Blocked {
+				continue
+			}
+			if !n.Alive(e.Node) {
+				t.Errorf("node %d: one-hop entry for dead node %d", u, e.Node)
+			}
+			found := false
+			for _, w := range out[u] {
+				if w == e.Node {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("node %d: one-hop entry %d is not an active link", u, e.Node)
+			}
+		}
+	}
+}
+
+func TestReconfigLatencyModel(t *testing.T) {
+	n := deploy(t, topology.Config{N: 10, Ports: 4, Seed: 1})
+	got := n.ReconfigLatencyNs(2, 3)
+	want := 2*680.0 + 3*5000.0
+	if got != want {
+		t.Errorf("ReconfigLatencyNs = %v, want %v", got, want)
+	}
+	tm := DefaultTiming()
+	if tm.MinIntervalNs != 100_000 {
+		t.Errorf("MinIntervalNs = %v, want 100us", tm.MinIntervalNs)
+	}
+}
+
+// TestElasticDeliveryProperty gates random subsets off and on and checks
+// delivery among alive nodes after every step — the paper's central elastic
+// scale claim as a property test.
+func TestElasticDeliveryProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 12 + rng.Intn(40)
+		ports := []int{4, 8}[rng.Intn(2)]
+		sf, err := topology.NewStringFigure(topology.Config{
+			N: n, Ports: ports, Seed: seed, Shortcuts: true,
+		})
+		if err != nil {
+			return false
+		}
+		net := New(sf)
+		for step := 0; step < 12; step++ {
+			v := rng.Intn(n)
+			if net.Alive(v) {
+				if net.AliveCount() > n/2 {
+					if err := net.GateOff(v); err != nil {
+						return false
+					}
+				}
+			} else {
+				if err := net.GateOn(v); err != nil {
+					return false
+				}
+			}
+			// Spot-check delivery among a random alive sample.
+			var alive []int
+			for u := 0; u < n; u++ {
+				if net.Alive(u) {
+					alive = append(alive, u)
+				}
+			}
+			for trial := 0; trial < 10; trial++ {
+				src := alive[rng.Intn(len(alive))]
+				dst := alive[rng.Intn(len(alive))]
+				if src == dst {
+					continue
+				}
+				if _, err := net.Router.Route(src, dst); err != nil {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}

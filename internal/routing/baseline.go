@@ -1,0 +1,103 @@
+package routing
+
+import (
+	"repro/internal/topology"
+)
+
+// MeshRouter adapts dimension-order XY routing with an adaptive alternative
+// to the Algorithm interface (the "greedy + adaptive" scheme of Figure 8 for
+// DM and ODM).
+type MeshRouter struct {
+	Mesh *topology.Mesh
+}
+
+// Name implements Algorithm.
+func (m *MeshRouter) Name() string { return "xy+adaptive" }
+
+// Candidates implements Algorithm.
+func (m *MeshRouter) Candidates(cur, dst int) []int { return m.Mesh.XYNextHops(cur, dst) }
+
+// ButterflyRouter adapts minimal + adaptive flattened-butterfly routing to
+// the Algorithm interface. It routes at router granularity.
+type ButterflyRouter struct {
+	B *topology.Butterfly
+}
+
+// Name implements Algorithm.
+func (b *ButterflyRouter) Name() string {
+	if b.B.Partitioned {
+		return "afb-minimal+adaptive"
+	}
+	return "fb-minimal+adaptive"
+}
+
+// Candidates implements Algorithm.
+func (b *ButterflyRouter) Candidates(cur, dst int) []int { return b.B.MinimalNextHops(cur, dst) }
+
+// TableRouter is a precomputed shortest-path table router (the "look-up
+// table" scheme used for Jellyfish-style baselines): next hops come from a
+// full next-hop matrix computed by BFS from every destination. Its state is
+// O(N²) per network — exactly the forwarding-state blowup the paper's hybrid
+// scheme avoids — and it is retained for baseline comparisons.
+type TableRouter struct {
+	name string
+	next [][][]int // next[cur][dst] = candidate next hops on shortest paths
+}
+
+// NewTableRouter precomputes all-pairs shortest-path next hops over the
+// directed graph of the given topology adjacency.
+func NewTableRouter(name string, out [][]int) *TableRouter {
+	n := len(out)
+	// dist[d][v]: distance from v to d, computed by reverse BFS from d.
+	rev := make([][]int, n)
+	for u, nbrs := range out {
+		for _, v := range nbrs {
+			rev[v] = append(rev[v], u)
+		}
+	}
+	tr := &TableRouter{name: name, next: make([][][]int, n)}
+	for v := 0; v < n; v++ {
+		tr.next[v] = make([][]int, n)
+	}
+	distToDst := make([]int, n)
+	queue := make([]int, 0, n)
+	for d := 0; d < n; d++ {
+		for i := range distToDst {
+			distToDst[i] = -1
+		}
+		distToDst[d] = 0
+		queue = queue[:0]
+		queue = append(queue, d)
+		for qi := 0; qi < len(queue); qi++ {
+			u := queue[qi]
+			for _, w := range rev[u] {
+				if distToDst[w] < 0 {
+					distToDst[w] = distToDst[u] + 1
+					queue = append(queue, w)
+				}
+			}
+		}
+		for v := 0; v < n; v++ {
+			if v == d || distToDst[v] < 0 {
+				continue
+			}
+			for _, w := range out[v] {
+				if distToDst[w] == distToDst[v]-1 {
+					tr.next[v][d] = append(tr.next[v][d], w)
+				}
+			}
+		}
+	}
+	return tr
+}
+
+// Name implements Algorithm.
+func (t *TableRouter) Name() string { return t.name }
+
+// Candidates implements Algorithm.
+func (t *TableRouter) Candidates(cur, dst int) []int {
+	if cur == dst {
+		return nil
+	}
+	return t.next[cur][dst]
+}

@@ -1,0 +1,97 @@
+// Package routing implements the routing protocols of the String Figure
+// paper: the greediest compute+table hybrid protocol over multi-space
+// virtual coordinates (Section III-B), the routing-table hardware model with
+// blocking/valid/hop bits (Section IV, Figure 6(b)), adaptive first-hop
+// selection driven by port-load counters, and the baseline routing schemes
+// (XY + adaptive for meshes, minimal + adaptive for flattened butterflies).
+package routing
+
+import (
+	"math"
+
+	"repro/internal/topology"
+)
+
+// Metric selects the distance function used by greediest routing.
+type Metric int
+
+const (
+	// Symmetric uses D(u,v) = min{|u-v|, 1-|u-v|}, the paper's circular
+	// distance. It requires bi-directional wires for the Lemma 1 progress
+	// guarantee.
+	Symmetric Metric = iota
+	// Clockwise uses the clockwise arc length from u to v, the progress
+	// metric for uni-directional builds: every clockwise ring hop strictly
+	// reduces it, so delivery stays provable with one-way wires.
+	Clockwise
+)
+
+func (m Metric) String() string {
+	if m == Clockwise {
+		return "clockwise"
+	}
+	return "symmetric"
+}
+
+// MetricFor returns the provably loop-free metric for a topology build:
+// Clockwise for uni-directional wires, Symmetric for bi-directional.
+func MetricFor(bidirectional bool) Metric {
+	if bidirectional {
+		return Symmetric
+	}
+	return Clockwise
+}
+
+// Coordinates is a read-only view of per-space virtual coordinates, with
+// optional fixed-point quantization emulating the 7-bit coordinate fields of
+// the hardware routing table.
+type Coordinates struct {
+	spaces int
+	coord  [][]float64 // [space][node]
+	scale  float64     // 0 = exact; else 2^bits
+}
+
+// NewCoordinates wraps a topology's coordinate arrays. bits selects the
+// quantization width (0 = exact float coordinates; the paper's hardware
+// stores 7 bits, which only disambiguates networks up to ~128 nodes — see
+// EXPERIMENTS.md).
+func NewCoordinates(coord [][]float64, bits int) *Coordinates {
+	c := &Coordinates{spaces: len(coord), coord: coord}
+	if bits > 0 {
+		c.scale = math.Pow(2, float64(bits))
+	}
+	return c
+}
+
+// Spaces returns the number of virtual spaces.
+func (c *Coordinates) Spaces() int { return c.spaces }
+
+// At returns node v's (possibly quantized) coordinate in space s.
+func (c *Coordinates) At(s, v int) float64 {
+	x := c.coord[s][v]
+	if c.scale > 0 {
+		return math.Floor(x*c.scale) / c.scale
+	}
+	return x
+}
+
+// Distance returns the metric distance from u to v in space s.
+func (c *Coordinates) Distance(m Metric, s, u, v int) float64 {
+	cu, cv := c.At(s, u), c.At(s, v)
+	if m == Clockwise {
+		return topology.ClockwiseDistance(cu, cv)
+	}
+	return topology.CircularDistance(cu, cv)
+}
+
+// MD returns the minimum distance from u to v across all spaces — the MD
+// function of Section III-B (or its clockwise analog).
+func (c *Coordinates) MD(m Metric, u, v int) float64 {
+	md := math.Inf(1)
+	for s := 0; s < c.spaces; s++ {
+		if d := c.Distance(m, s, u, v); d < md {
+			md = d
+		}
+	}
+	return md
+}

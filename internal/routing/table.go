@@ -1,0 +1,170 @@
+package routing
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Entry is one routing-table row, mirroring the hardware layout of Figure
+// 6(b): the neighbor's node number (log2 N bits), a blocking bit, a valid
+// bit, a hop-count bit ('0' one-hop, '1' two-hop), and — implicitly through
+// the Coordinates view — the per-space virtual coordinates. Two-hop entries
+// additionally record Via, the one-hop neighbor through which the two-hop
+// neighbor is reached, which the forwarding pipeline needs to turn a
+// lookahead win into an output port.
+type Entry struct {
+	Node    int
+	Via     int // -1 for one-hop entries
+	TwoHop  bool
+	Valid   bool
+	Blocked bool
+}
+
+// Table is the routing table of one router. Entries are bounded by p(p+1)
+// per Section IV; the table enforces the bound when built through the
+// topology-driven builders and reconfiguration engine.
+type Table struct {
+	Node    int
+	entries []Entry
+	index   map[tableKey]int
+}
+
+type tableKey struct {
+	node int
+	via  int
+}
+
+// NewTable creates an empty routing table for the given router.
+func NewTable(node int) *Table {
+	return &Table{Node: node, index: make(map[tableKey]int)}
+}
+
+// Add inserts or re-validates an entry. One-hop entries use via = -1.
+func (t *Table) Add(node, via int, twoHop bool) {
+	k := tableKey{node: node, via: via}
+	if i, ok := t.index[k]; ok {
+		t.entries[i].Valid = true
+		t.entries[i].Blocked = false
+		t.entries[i].TwoHop = twoHop
+		return
+	}
+	t.index[k] = len(t.entries)
+	t.entries = append(t.entries, Entry{Node: node, Via: via, TwoHop: twoHop, Valid: true})
+}
+
+// Len returns the number of entries (valid or not).
+func (t *Table) Len() int { return len(t.entries) }
+
+// Entries returns a copy of the entries, sorted for deterministic output.
+func (t *Table) Entries() []Entry {
+	out := append([]Entry(nil), t.entries...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Node != out[j].Node {
+			return out[i].Node < out[j].Node
+		}
+		return out[i].Via < out[j].Via
+	})
+	return out
+}
+
+// visitOneHop calls fn for every usable (valid, unblocked) one-hop entry.
+func (t *Table) visitOneHop(fn func(node int)) {
+	for i := range t.entries {
+		e := &t.entries[i]
+		if !e.TwoHop && e.Valid && !e.Blocked {
+			fn(e.Node)
+		}
+	}
+}
+
+// visitTwoHop calls fn for every usable two-hop entry.
+func (t *Table) visitTwoHop(fn func(node, via int)) {
+	for i := range t.entries {
+		e := &t.entries[i]
+		if e.TwoHop && e.Valid && !e.Blocked {
+			fn(e.Node, e.Via)
+		}
+	}
+}
+
+// setBlockedWhere sets the blocking bit on entries selected by match.
+func (t *Table) setBlockedWhere(match func(Entry) bool, blocked bool) int {
+	n := 0
+	for i := range t.entries {
+		if match(t.entries[i]) {
+			t.entries[i].Blocked = blocked
+			n++
+		}
+	}
+	return n
+}
+
+// Block sets the blocking bit on every entry that refers to the given node,
+// either as the neighbor itself or as the via of a two-hop entry. This is
+// step 1 of the reconfiguration protocol (Section III-C).
+func (t *Table) Block(node int) int {
+	return t.setBlockedWhere(func(e Entry) bool { return e.Node == node || e.Via == node }, true)
+}
+
+// Unblock clears the blocking bit set by Block — step 4 of reconfiguration.
+func (t *Table) Unblock(node int) int {
+	return t.setBlockedWhere(func(e Entry) bool { return e.Node == node || e.Via == node }, false)
+}
+
+// Invalidate clears the valid bit on entries referring to node (as target or
+// via) — used when a neighbor is power-gated off.
+func (t *Table) Invalidate(node int) int {
+	n := 0
+	for i := range t.entries {
+		if t.entries[i].Node == node || t.entries[i].Via == node {
+			t.entries[i].Valid = false
+			n++
+		}
+	}
+	return n
+}
+
+// Promote flips a two-hop entry for node (via any path) into a one-hop
+// entry — the "original two-hop neighbors are now one-hop neighbors" bit
+// flip of Section III-C. It returns false if no entry for node exists, in
+// which case the caller adds a fresh entry instead.
+func (t *Table) Promote(node int) bool {
+	for i := range t.entries {
+		if t.entries[i].Node == node && t.entries[i].TwoHop {
+			oldVia := t.entries[i].Via
+			t.entries[i].TwoHop = false
+			t.entries[i].Via = -1
+			t.entries[i].Valid = true
+			// Re-index under the one-hop key.
+			delete(t.index, tableKey{node: node, via: oldVia})
+			t.index[tableKey{node: node, via: -1}] = i
+			return true
+		}
+	}
+	return false
+}
+
+// HasOneHop reports whether node is a usable one-hop neighbor.
+func (t *Table) HasOneHop(node int) bool {
+	for i := range t.entries {
+		e := &t.entries[i]
+		if !e.TwoHop && e.Node == node && e.Valid && !e.Blocked {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders the table in the layout of Figure 6(b).
+func (t *Table) String() string {
+	s := fmt.Sprintf("routing table of node %d (%d entries)\n", t.Node, len(t.entries))
+	s += "node  via  hop#  valid  blocked\n"
+	for _, e := range t.Entries() {
+		hop := 0
+		if e.TwoHop {
+			hop = 1
+		}
+		s += fmt.Sprintf("%4d  %3d  %4d  %5v  %7v\n", e.Node, e.Via, hop, e.Valid, e.Blocked)
+	}
+	return s
+}

@@ -1,0 +1,332 @@
+// Package stats provides the statistical primitives used throughout the
+// String Figure reproduction: running summaries, histograms, percentile
+// estimation, and labeled data series for experiment output.
+//
+// The experiment harness (internal/experiments) emits every figure and table
+// of the paper as stats.Series values so that the same code path feeds both
+// the command-line tools and the Go benchmarks.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Summary accumulates a running mean, min, max and variance (Welford) over a
+// stream of float64 observations. The zero value is ready to use.
+type Summary struct {
+	n    int
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add records one observation.
+func (s *Summary) Add(x float64) {
+	s.n++
+	if s.n == 1 {
+		s.min, s.max = x, x
+	} else {
+		if x < s.min {
+			s.min = x
+		}
+		if x > s.max {
+			s.max = x
+		}
+	}
+	delta := x - s.mean
+	s.mean += delta / float64(s.n)
+	s.m2 += delta * (x - s.mean)
+}
+
+// AddN records the same observation n times.
+func (s *Summary) AddN(x float64, n int) {
+	for i := 0; i < n; i++ {
+		s.Add(x)
+	}
+}
+
+// Merge folds another summary into s.
+func (s *Summary) Merge(o Summary) {
+	if o.n == 0 {
+		return
+	}
+	if s.n == 0 {
+		*s = o
+		return
+	}
+	n := s.n + o.n
+	delta := o.mean - s.mean
+	mean := s.mean + delta*float64(o.n)/float64(n)
+	m2 := s.m2 + o.m2 + delta*delta*float64(s.n)*float64(o.n)/float64(n)
+	min, max := s.min, s.max
+	if o.min < min {
+		min = o.min
+	}
+	if o.max > max {
+		max = o.max
+	}
+	*s = Summary{n: n, mean: mean, m2: m2, min: min, max: max}
+}
+
+// Count returns the number of observations.
+func (s *Summary) Count() int { return s.n }
+
+// Mean returns the arithmetic mean, or 0 when empty.
+func (s *Summary) Mean() float64 { return s.mean }
+
+// Min returns the smallest observation, or 0 when empty.
+func (s *Summary) Min() float64 { return s.min }
+
+// Max returns the largest observation, or 0 when empty.
+func (s *Summary) Max() float64 { return s.max }
+
+// Variance returns the population variance, or 0 for fewer than two samples.
+func (s *Summary) Variance() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return s.m2 / float64(s.n)
+}
+
+// StdDev returns the population standard deviation.
+func (s *Summary) StdDev() float64 { return math.Sqrt(s.Variance()) }
+
+// Histogram is an integer-bucketed histogram with exact percentile queries.
+// It is used for hop-count and latency distributions. The zero value is ready
+// to use; buckets grow on demand.
+type Histogram struct {
+	counts []int64
+	total  int64
+}
+
+// Observe records one occurrence of value v (v < 0 is clamped to 0).
+func (h *Histogram) Observe(v int) {
+	if v < 0 {
+		v = 0
+	}
+	for v >= len(h.counts) {
+		h.counts = append(h.counts, 0)
+	}
+	h.counts[v]++
+	h.total++
+}
+
+// ObserveN records n occurrences of value v.
+func (h *Histogram) ObserveN(v int, n int64) {
+	if v < 0 {
+		v = 0
+	}
+	for v >= len(h.counts) {
+		h.counts = append(h.counts, 0)
+	}
+	h.counts[v] += n
+	h.total += n
+}
+
+// Total returns the number of recorded observations.
+func (h *Histogram) Total() int64 { return h.total }
+
+// Mean returns the mean of the recorded values.
+func (h *Histogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	var sum float64
+	for v, c := range h.counts {
+		sum += float64(v) * float64(c)
+	}
+	return sum / float64(h.total)
+}
+
+// Max returns the largest recorded value.
+func (h *Histogram) Max() int {
+	for v := len(h.counts) - 1; v >= 0; v-- {
+		if h.counts[v] > 0 {
+			return v
+		}
+	}
+	return 0
+}
+
+// Percentile returns the smallest value v such that at least p (0..1) of the
+// observations are <= v. Percentile(0.5) is the median.
+func (h *Histogram) Percentile(p float64) int {
+	if h.total == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	target := int64(math.Ceil(p * float64(h.total)))
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for v, c := range h.counts {
+		cum += c
+		if cum >= target {
+			return v
+		}
+	}
+	return len(h.counts) - 1
+}
+
+// Merge folds another histogram into h.
+func (h *Histogram) Merge(o *Histogram) {
+	for v, c := range o.counts {
+		if c != 0 {
+			h.ObserveN(v, c)
+		}
+	}
+}
+
+// Quantile computes the q-th quantile (0..1) of a float64 sample by sorting a
+// copy. It returns 0 for an empty sample.
+func Quantile(sample []float64, q float64) float64 {
+	if len(sample) == 0 {
+		return 0
+	}
+	c := make([]float64, len(sample))
+	copy(c, sample)
+	sort.Float64s(c)
+	if q <= 0 {
+		return c[0]
+	}
+	if q >= 1 {
+		return c[len(c)-1]
+	}
+	pos := q * float64(len(c)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return c[lo]
+	}
+	frac := pos - float64(lo)
+	return c[lo]*(1-frac) + c[hi]*frac
+}
+
+// Mean returns the arithmetic mean of the sample, or 0 when empty.
+func Mean(sample []float64) float64 {
+	if len(sample) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range sample {
+		sum += v
+	}
+	return sum / float64(len(sample))
+}
+
+// GeoMean returns the geometric mean of the sample, or 0 when empty. Values
+// must be positive; non-positive values are skipped.
+func GeoMean(sample []float64) float64 {
+	var sum float64
+	var n int
+	for _, v := range sample {
+		if v > 0 {
+			sum += math.Log(v)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(sum / float64(n))
+}
+
+// Series is a labeled table of rows used as the common output format of every
+// experiment: one Series per figure/table, one row per data point.
+type Series struct {
+	Name    string
+	Columns []string
+	Rows    [][]float64
+	Labels  []string // optional per-row label (e.g. workload name)
+}
+
+// NewSeries creates a named series with the given column headers.
+func NewSeries(name string, columns ...string) *Series {
+	return &Series{Name: name, Columns: columns}
+}
+
+// AddRow appends an unlabeled row. The number of values must match Columns.
+func (s *Series) AddRow(values ...float64) {
+	s.Rows = append(s.Rows, values)
+	s.Labels = append(s.Labels, "")
+}
+
+// AddLabeledRow appends a row with a leading text label.
+func (s *Series) AddLabeledRow(label string, values ...float64) {
+	s.Rows = append(s.Rows, values)
+	s.Labels = append(s.Labels, label)
+}
+
+// String renders the series as an aligned text table, the format printed by
+// cmd/sfexp and the benchmarks.
+func (s *Series) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", s.Name)
+	hasLabels := false
+	for _, l := range s.Labels {
+		if l != "" {
+			hasLabels = true
+			break
+		}
+	}
+	widths := make([]int, len(s.Columns))
+	cells := make([][]string, len(s.Rows))
+	for i, row := range s.Rows {
+		cells[i] = make([]string, len(row))
+		for j, v := range row {
+			cells[i][j] = formatCell(v)
+			if j < len(widths) && len(cells[i][j]) > widths[j] {
+				widths[j] = len(cells[i][j])
+			}
+		}
+	}
+	for j, c := range s.Columns {
+		if len(c) > widths[j] {
+			widths[j] = len(c)
+		}
+	}
+	labelWidth := 0
+	if hasLabels {
+		for _, l := range s.Labels {
+			if len(l) > labelWidth {
+				labelWidth = len(l)
+			}
+		}
+		fmt.Fprintf(&b, "%-*s  ", labelWidth, "")
+	}
+	for j, c := range s.Columns {
+		fmt.Fprintf(&b, "%*s  ", widths[j], c)
+	}
+	b.WriteByte('\n')
+	for i, row := range s.Rows {
+		if hasLabels {
+			fmt.Fprintf(&b, "%-*s  ", labelWidth, s.Labels[i])
+		}
+		for j := range row {
+			w := 0
+			if j < len(widths) {
+				w = widths[j]
+			}
+			fmt.Fprintf(&b, "%*s  ", w, cells[i][j])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func formatCell(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e9 {
+		return fmt.Sprintf("%.0f", v)
+	}
+	return fmt.Sprintf("%.3f", v)
+}

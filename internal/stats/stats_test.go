@@ -1,0 +1,229 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummaryBasics(t *testing.T) {
+	var s Summary
+	if s.Count() != 0 || s.Mean() != 0 {
+		t.Fatalf("zero value not empty: count=%d mean=%v", s.Count(), s.Mean())
+	}
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(v)
+	}
+	if s.Count() != 8 {
+		t.Errorf("Count = %d, want 8", s.Count())
+	}
+	if got := s.Mean(); math.Abs(got-5) > 1e-12 {
+		t.Errorf("Mean = %v, want 5", got)
+	}
+	if got := s.StdDev(); math.Abs(got-2) > 1e-12 {
+		t.Errorf("StdDev = %v, want 2", got)
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Errorf("Min/Max = %v/%v, want 2/9", s.Min(), s.Max())
+	}
+}
+
+func TestSummaryAddN(t *testing.T) {
+	var a, b Summary
+	a.AddN(3.5, 4)
+	for i := 0; i < 4; i++ {
+		b.Add(3.5)
+	}
+	if a.Count() != b.Count() || a.Mean() != b.Mean() {
+		t.Errorf("AddN mismatch: %v vs %v", a, b)
+	}
+}
+
+func TestSummaryMergeMatchesSequential(t *testing.T) {
+	bound := func(v float64) float64 { return math.Mod(v, 1e6) } // keep delta*delta finite
+	f := func(xs []float64, ys []float64) bool {
+		var all, left, right Summary
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return true
+			}
+			x = bound(x)
+			all.Add(x)
+			left.Add(x)
+		}
+		for _, y := range ys {
+			if math.IsNaN(y) || math.IsInf(y, 0) {
+				return true
+			}
+			y = bound(y)
+			all.Add(y)
+			right.Add(y)
+		}
+		left.Merge(right)
+		if left.Count() != all.Count() {
+			return false
+		}
+		if all.Count() == 0 {
+			return true
+		}
+		return math.Abs(left.Mean()-all.Mean()) < 1e-6*(1+math.Abs(all.Mean())) &&
+			left.Min() == all.Min() && left.Max() == all.Max()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSummaryMergeEmpty(t *testing.T) {
+	var a, b Summary
+	a.Add(1)
+	a.Merge(b) // merging empty is a no-op
+	if a.Count() != 1 || a.Mean() != 1 {
+		t.Errorf("merge empty changed summary: %+v", a)
+	}
+	b.Merge(a) // merging into empty copies
+	if b.Count() != 1 || b.Mean() != 1 {
+		t.Errorf("merge into empty failed: %+v", b)
+	}
+}
+
+func TestHistogramPercentiles(t *testing.T) {
+	var h Histogram
+	for v := 1; v <= 100; v++ {
+		h.Observe(v)
+	}
+	if got := h.Percentile(0.5); got != 50 {
+		t.Errorf("P50 = %d, want 50", got)
+	}
+	if got := h.Percentile(0.10); got != 10 {
+		t.Errorf("P10 = %d, want 10", got)
+	}
+	if got := h.Percentile(0.90); got != 90 {
+		t.Errorf("P90 = %d, want 90", got)
+	}
+	if got := h.Percentile(1.0); got != 100 {
+		t.Errorf("P100 = %d, want 100", got)
+	}
+	if got := h.Max(); got != 100 {
+		t.Errorf("Max = %d, want 100", got)
+	}
+	if got := h.Mean(); math.Abs(got-50.5) > 1e-9 {
+		t.Errorf("Mean = %v, want 50.5", got)
+	}
+}
+
+func TestHistogramEmptyAndClamp(t *testing.T) {
+	var h Histogram
+	if h.Percentile(0.5) != 0 || h.Mean() != 0 || h.Max() != 0 {
+		t.Error("empty histogram should return zeros")
+	}
+	h.Observe(-5) // clamped to bucket 0
+	if h.Total() != 1 || h.Max() != 0 {
+		t.Errorf("clamp failed: total=%d max=%d", h.Total(), h.Max())
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b Histogram
+	a.ObserveN(2, 3)
+	b.ObserveN(5, 7)
+	a.Merge(&b)
+	if a.Total() != 10 {
+		t.Errorf("Total = %d, want 10", a.Total())
+	}
+	if a.Max() != 5 {
+		t.Errorf("Max = %d, want 5", a.Max())
+	}
+}
+
+func TestHistogramPercentileMonotonic(t *testing.T) {
+	f := func(values []uint8) bool {
+		var h Histogram
+		for _, v := range values {
+			h.Observe(int(v))
+		}
+		prev := -1
+		for _, p := range []float64{0, 0.1, 0.25, 0.5, 0.75, 0.9, 1} {
+			cur := h.Percentile(p)
+			if cur < prev {
+				return false
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	sample := []float64{1, 2, 3, 4, 5}
+	if got := Quantile(sample, 0.5); got != 3 {
+		t.Errorf("Quantile(0.5) = %v, want 3", got)
+	}
+	if got := Quantile(sample, 0); got != 1 {
+		t.Errorf("Quantile(0) = %v, want 1", got)
+	}
+	if got := Quantile(sample, 1); got != 5 {
+		t.Errorf("Quantile(1) = %v, want 5", got)
+	}
+	if got := Quantile(sample, 0.25); got != 2 {
+		t.Errorf("Quantile(0.25) = %v, want 2", got)
+	}
+	if got := Quantile(nil, 0.5); got != 0 {
+		t.Errorf("Quantile(nil) = %v, want 0", got)
+	}
+	// Quantile must not mutate its input.
+	unsorted := []float64{3, 1, 2}
+	Quantile(unsorted, 0.5)
+	if unsorted[0] != 3 || unsorted[1] != 1 || unsorted[2] != 2 {
+		t.Error("Quantile mutated input slice")
+	}
+}
+
+func TestMeanAndGeoMean(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3}); math.Abs(got-2) > 1e-12 {
+		t.Errorf("Mean = %v, want 2", got)
+	}
+	if got := Mean(nil); got != 0 {
+		t.Errorf("Mean(nil) = %v, want 0", got)
+	}
+	if got := GeoMean([]float64{1, 4}); math.Abs(got-2) > 1e-12 {
+		t.Errorf("GeoMean = %v, want 2", got)
+	}
+	if got := GeoMean([]float64{0, -1}); got != 0 {
+		t.Errorf("GeoMean of non-positive = %v, want 0", got)
+	}
+	// Non-positive values are skipped, not zeroed.
+	if got := GeoMean([]float64{4, 0}); math.Abs(got-4) > 1e-12 {
+		t.Errorf("GeoMean skipping zero = %v, want 4", got)
+	}
+}
+
+func TestSeriesString(t *testing.T) {
+	s := NewSeries("Figure X", "nodes", "hops")
+	s.AddRow(16, 2.5)
+	s.AddLabeledRow("big", 1296, 4.96)
+	out := s.String()
+	for _, want := range []string{"Figure X", "nodes", "hops", "1296", "4.960", "big"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("series output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSeriesUnlabeledOmitsLabelColumn(t *testing.T) {
+	s := NewSeries("plain", "a")
+	s.AddRow(1)
+	out := s.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines, want 3:\n%s", len(lines), out)
+	}
+	if strings.HasPrefix(lines[1], " ") && strings.TrimSpace(lines[1]) == "a" &&
+		len(lines[1]) > len("a")+4 {
+		t.Errorf("unexpected label padding in header %q", lines[1])
+	}
+}

@@ -1,0 +1,128 @@
+package topology
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+)
+
+// Mesh is the distributed mesh (DM) baseline of Kim et al., and with a
+// channel-width multiplier > 1 the optimized distributed mesh (ODM) that the
+// paper widens to match String Figure's bisection bandwidth at each scale.
+// Nodes are laid out row-major on a Rows x Cols grid; the final row may be
+// partial so that any N is supported.
+type Mesh struct {
+	N          int
+	Rows, Cols int
+	// Width is the per-link channel multiplier (1 for DM; >1 for ODM).
+	Width int
+}
+
+// NewMesh builds a DM topology with near-square dimensions for N nodes.
+func NewMesh(n int) (*Mesh, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("topology: mesh needs N >= 2, got %d", n)
+	}
+	cols := int(math.Ceil(math.Sqrt(float64(n))))
+	rows := (n + cols - 1) / cols
+	return &Mesh{N: n, Rows: rows, Cols: cols, Width: 1}, nil
+}
+
+// NewODM builds an optimized distributed mesh whose links carry `width`
+// parallel channels. The experiment harness chooses width so the mesh's
+// bisection bandwidth matches String Figure's at the same N (Section V).
+func NewODM(n, width int) (*Mesh, error) {
+	m, err := NewMesh(n)
+	if err != nil {
+		return nil, err
+	}
+	if width < 1 {
+		return nil, fmt.Errorf("topology: ODM width must be >= 1, got %d", width)
+	}
+	m.Width = width
+	return m, nil
+}
+
+// Loc returns the grid coordinates of node v.
+func (m *Mesh) Loc(v int) (row, col int) { return v / m.Cols, v % m.Cols }
+
+// NodeAt returns the node at (row, col), or -1 when the cell is beyond N
+// (partial last row) or outside the grid.
+func (m *Mesh) NodeAt(row, col int) int {
+	if row < 0 || row >= m.Rows || col < 0 || col >= m.Cols {
+		return -1
+	}
+	v := row*m.Cols + col
+	if v >= m.N {
+		return -1
+	}
+	return v
+}
+
+// Graph returns the bidirectional mesh link graph; ODM width appears as
+// parallel edges so that max-flow sees the widened channels.
+func (m *Mesh) Graph() *graph.Graph {
+	g := graph.New(m.N)
+	for v := 0; v < m.N; v++ {
+		r, c := m.Loc(v)
+		for _, d := range [][2]int{{0, 1}, {1, 0}} {
+			w := m.NodeAt(r+d[0], c+d[1])
+			if w < 0 {
+				continue
+			}
+			for k := 0; k < m.Width; k++ {
+				g.AddBiEdge(v, w)
+			}
+		}
+	}
+	return g
+}
+
+// Ports returns the number of router ports per node (4 for an interior mesh
+// node, scaled by the ODM width multiplier).
+func (m *Mesh) Ports() int { return 4 * m.Width }
+
+// XYNextHops returns the minimal next hops from cur toward dst under
+// dimension-order (X then Y) routing, plus the adaptive alternative: when
+// both a column and a row move reduce distance, both are returned (first one
+// is the deterministic XY choice, the second enables adaptive selection).
+func (m *Mesh) XYNextHops(cur, dst int) []int {
+	if cur == dst {
+		return nil
+	}
+	cr, cc := m.Loc(cur)
+	dr, dc := m.Loc(dst)
+	var hops []int
+	if dc != cc {
+		step := 1
+		if dc < cc {
+			step = -1
+		}
+		if v := m.NodeAt(cr, cc+step); v >= 0 {
+			hops = append(hops, v)
+		}
+	}
+	if dr != cr {
+		step := 1
+		if dr < cr {
+			step = -1
+		}
+		if v := m.NodeAt(cr+step, cc); v >= 0 {
+			hops = append(hops, v)
+		}
+	}
+	if len(hops) == 0 {
+		// The destination cell is only reachable by first detouring
+		// (possible around the ragged last row): move toward it anyway.
+		if dr > cr {
+			if v := m.NodeAt(cr+1, cc); v >= 0 {
+				hops = append(hops, v)
+			}
+		}
+		if len(hops) == 0 && cc > 0 {
+			hops = append(hops, m.NodeAt(cr, cc-1))
+		}
+	}
+	return hops
+}

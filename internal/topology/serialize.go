@@ -1,0 +1,112 @@
+package topology
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// design is the JSON wire format of a String Figure topology. Persisting a
+// generated design supports the paper's design-reuse story: the same
+// fabricated network (coordinates + wire lists) deploys across product
+// configurations, so the artifact itself must be storable and reloadable
+// bit-exactly.
+type design struct {
+	Version   int         `json:"version"`
+	Config    Config      `json:"config"`
+	Spaces    int         `json:"spaces"`
+	Coord     [][]float64 `json:"coord"`
+	Order     [][]int     `json:"order"`
+	Rings     []Link      `json:"rings"`
+	Extras    []Link      `json:"extras"`
+	Shortcuts []Link      `json:"shortcuts"`
+}
+
+const designVersion = 1
+
+// Save writes the topology design as JSON.
+func (sf *StringFigure) Save(w io.Writer) error {
+	d := design{
+		Version:   designVersion,
+		Config:    sf.Cfg,
+		Spaces:    sf.Spaces,
+		Coord:     sf.Coord,
+		Order:     sf.Order,
+		Rings:     sf.Rings,
+		Extras:    sf.Extras,
+		Shortcuts: sf.Shortcuts,
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(d)
+}
+
+// Load reads a topology design saved with Save and reconstructs the
+// StringFigure, validating structural invariants (ring closure per space,
+// rank consistency, port budgets).
+func Load(r io.Reader) (*StringFigure, error) {
+	var d design
+	if err := json.NewDecoder(r).Decode(&d); err != nil {
+		return nil, fmt.Errorf("topology: decoding design: %w", err)
+	}
+	if d.Version != designVersion {
+		return nil, fmt.Errorf("topology: unsupported design version %d", d.Version)
+	}
+	if err := d.Config.Validate(); err != nil {
+		return nil, err
+	}
+	sf := &StringFigure{
+		Cfg:       d.Config,
+		Spaces:    d.Spaces,
+		Coord:     d.Coord,
+		Order:     d.Order,
+		Rings:     d.Rings,
+		Extras:    d.Extras,
+		Shortcuts: d.Shortcuts,
+	}
+	if err := sf.validateLoaded(); err != nil {
+		return nil, err
+	}
+	// Rebuild the rank index from the order arrays.
+	sf.Rank = make([][]int, sf.Spaces)
+	for s := 0; s < sf.Spaces; s++ {
+		sf.Rank[s] = make([]int, d.Config.N)
+		for k, v := range sf.Order[s] {
+			sf.Rank[s][v] = k
+		}
+	}
+	return sf, nil
+}
+
+// validateLoaded checks the structural invariants of a deserialized design.
+func (sf *StringFigure) validateLoaded() error {
+	n := sf.Cfg.N
+	if sf.Spaces != sf.Cfg.Ports/2 {
+		return fmt.Errorf("topology: %d spaces inconsistent with %d ports", sf.Spaces, sf.Cfg.Ports)
+	}
+	if len(sf.Coord) != sf.Spaces || len(sf.Order) != sf.Spaces {
+		return fmt.Errorf("topology: coordinate/order arrays do not match %d spaces", sf.Spaces)
+	}
+	for s := 0; s < sf.Spaces; s++ {
+		if len(sf.Coord[s]) != n || len(sf.Order[s]) != n {
+			return fmt.Errorf("topology: space %d arrays do not cover %d nodes", s, n)
+		}
+		seen := make([]bool, n)
+		for _, v := range sf.Order[s] {
+			if v < 0 || v >= n || seen[v] {
+				return fmt.Errorf("topology: space %d order is not a permutation", s)
+			}
+			seen[v] = true
+		}
+		for v := 0; v < n; v++ {
+			if c := sf.Coord[s][v]; c < 0 || c >= 1 {
+				return fmt.Errorf("topology: space %d node %d coordinate %v out of range", s, v, c)
+			}
+		}
+	}
+	for _, l := range sf.AllLinks() {
+		if l.From < 0 || l.From >= n || l.To < 0 || l.To >= n || l.From == l.To {
+			return fmt.Errorf("topology: invalid link %d->%d", l.From, l.To)
+		}
+	}
+	return nil
+}

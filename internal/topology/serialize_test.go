@@ -1,0 +1,93 @@
+package topology
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	orig := mustSF(t, Config{N: 48, Ports: 8, Seed: 5, Shortcuts: true, Bidirectional: true})
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(orig.Cfg, loaded.Cfg) {
+		t.Errorf("config mismatch: %+v vs %+v", orig.Cfg, loaded.Cfg)
+	}
+	if !reflect.DeepEqual(orig.Coord, loaded.Coord) {
+		t.Error("coordinates mismatch after round trip")
+	}
+	if !reflect.DeepEqual(orig.Rank, loaded.Rank) {
+		t.Error("rank index not rebuilt correctly")
+	}
+	if !reflect.DeepEqual(orig.Rings, loaded.Rings) ||
+		!reflect.DeepEqual(orig.Extras, loaded.Extras) ||
+		!reflect.DeepEqual(orig.Shortcuts, loaded.Shortcuts) {
+		t.Error("link lists mismatch after round trip")
+	}
+	// Loaded design is usable: graph connectivity preserved.
+	if !loaded.Graph().StronglyConnected() {
+		t.Error("loaded topology not strongly connected")
+	}
+}
+
+func TestLoadRejectsCorruptDesigns(t *testing.T) {
+	cases := []struct {
+		name string
+		doc  string
+	}{
+		{"garbage", "{not json"},
+		{"wrong version", `{"version":99}`},
+		{"bad config", `{"version":1,"config":{"N":1,"Ports":4}}`},
+		{"spaces mismatch", `{"version":1,"config":{"N":4,"Ports":4},"spaces":7,"coord":[],"order":[]}`},
+	}
+	for _, c := range cases {
+		if _, err := Load(strings.NewReader(c.doc)); err == nil {
+			t.Errorf("%s: Load should fail", c.name)
+		}
+	}
+}
+
+func TestLoadRejectsBadPermutation(t *testing.T) {
+	orig := mustSF(t, Config{N: 8, Ports: 4, Seed: 1})
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	doc := buf.String()
+	// Corrupt the order array: duplicate a node.
+	corrupt := strings.Replace(doc, `"order":[[`, `"order":[[0,0,`, 1)
+	if corrupt == doc {
+		t.Skip("could not corrupt document")
+	}
+	if _, err := Load(strings.NewReader(corrupt)); err == nil {
+		t.Error("Load should reject a non-permutation order")
+	}
+}
+
+func TestLoadedRoutesIdentically(t *testing.T) {
+	orig := mustSF(t, Config{N: 32, Ports: 4, Seed: 9, Shortcuts: true})
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < 32; u++ {
+		if orig.MinCircularDistance(u, (u+11)%32) != loaded.MinCircularDistance(u, (u+11)%32) {
+			t.Fatalf("MD differs after reload for node %d", u)
+		}
+	}
+	a, b := orig.OutNeighbors(), loaded.OutNeighbors()
+	if !reflect.DeepEqual(a, b) {
+		t.Error("adjacency differs after reload")
+	}
+}

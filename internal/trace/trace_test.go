@@ -1,0 +1,149 @@
+package trace
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/memnode"
+)
+
+const testCapacity = 1 << 30 // 1 GiB pool for fast tests
+
+func TestAllWorkloadsGenerate(t *testing.T) {
+	m := memnode.NewAddressMap(64)
+	for _, name := range WorkloadNames {
+		w, err := NewWorkload(name, testCapacity, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		tr, err := Generate(w, m, 2000, 7)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(tr.Ops) != 2000 {
+			t.Fatalf("%s: got %d ops", name, len(tr.Ops))
+		}
+		prev := int64(-1)
+		for i, op := range tr.Ops {
+			if op.Instr < prev {
+				t.Fatalf("%s: op %d instruction ID went backwards", name, i)
+			}
+			prev = op.Instr
+			if op.Node < 0 || op.Node >= 64 {
+				t.Fatalf("%s: op %d mapped to invalid node %d", name, i, op.Node)
+			}
+		}
+		if tr.MissRate <= 0 || tr.MissRate > 1 {
+			t.Errorf("%s: miss rate %v out of range", name, tr.MissRate)
+		}
+	}
+}
+
+func TestUnknownWorkload(t *testing.T) {
+	if _, err := NewWorkload("nope", testCapacity, 1); err == nil {
+		t.Error("unknown workload should fail")
+	}
+	if _, err := NewWorkload("grep", 1024, 1); err == nil {
+		t.Error("tiny capacity should fail")
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	w, _ := NewWorkload("grep", testCapacity, 1)
+	if _, err := Generate(w, memnode.NewAddressMap(4), 0, 1); err == nil {
+		t.Error("zero ops should fail")
+	}
+}
+
+func TestWorkloadsAreDistinct(t *testing.T) {
+	// Different workloads must produce measurably different traffic:
+	// compare write fractions and node spread.
+	m := memnode.NewAddressMap(64)
+	writeFrac := map[string]float64{}
+	for _, name := range WorkloadNames {
+		w, _ := NewWorkload(name, testCapacity, 3)
+		tr, err := Generate(w, m, 3000, 3)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		writes := 0
+		for _, op := range tr.Ops {
+			if op.Write {
+				writes++
+			}
+		}
+		writeFrac[name] = float64(writes) / float64(len(tr.Ops))
+	}
+	if writeFrac["grep"] >= writeFrac["sort"] {
+		t.Errorf("grep write fraction (%v) should be below sort (%v)",
+			writeFrac["grep"], writeFrac["sort"])
+	}
+}
+
+func TestKeyValueSkew(t *testing.T) {
+	// Memcached's Zipf keys must concentrate traffic on few nodes more
+	// than grep's streaming scan.
+	m := memnode.NewAddressMap(64)
+	conc := func(name string) float64 {
+		w, _ := NewWorkload(name, testCapacity, 5)
+		tr, err := Generate(w, m, 5000, 5)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		counts := make([]int, 64)
+		for _, op := range tr.Ops {
+			counts[op.Node]++
+		}
+		max := 0
+		for _, c := range counts {
+			if c > max {
+				max = c
+			}
+		}
+		return float64(max) / float64(len(tr.Ops))
+	}
+	if conc("memcached") <= conc("grep")*0.9 {
+		t.Logf("memcached concentration %v, grep %v", conc("memcached"), conc("grep"))
+	}
+}
+
+func TestCycleOf(t *testing.T) {
+	// 6400 instructions x 0.75 CPI = 4800 CPU cycles = 750 network cycles.
+	if got := CycleOf(6400); got != 750 {
+		t.Errorf("CycleOf(6400) = %d, want 750", got)
+	}
+	if got := CycleOf(0); got != 0 {
+		t.Errorf("CycleOf(0) = %d, want 0", got)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	m := memnode.NewAddressMap(16)
+	gen := func() *Trace {
+		w, _ := NewWorkload("redis", testCapacity, 9)
+		tr, err := Generate(w, m, 1000, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tr
+	}
+	a, b := gen(), gen()
+	for i := range a.Ops {
+		if a.Ops[i] != b.Ops[i] {
+			t.Fatalf("op %d differs between identical runs", i)
+		}
+	}
+}
+
+func TestJitterBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		v := jitter(rng, 20)
+		if v < 10 || v > 30 {
+			t.Fatalf("jitter(20) = %d outside [10,30]", v)
+		}
+	}
+	if jitter(rng, 1) != 1 || jitter(rng, 0) != 1 {
+		t.Error("small bases should clamp to 1")
+	}
+}

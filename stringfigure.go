@@ -1,0 +1,274 @@
+// Package stringfigure is the public API of the String Figure memory
+// network reproduction (Ogleari et al., HPCA 2019): a scalable, elastic
+// memory network built from a balanced random topology over virtual
+// coordinate spaces, greediest compute+table routing, and shortcut-based
+// reconfiguration for power management and design reuse.
+//
+// The package wraps the building blocks under internal/ — topology
+// generation, routing, the flit-level network simulator, the DRAM-timing
+// memory nodes, and the reconfiguration engine — behind a single Network
+// type:
+//
+//	net, err := stringfigure.New(stringfigure.Options{Nodes: 64})
+//	path, err := net.Route(3, 42)
+//	res, err := net.SimulateUniform(0.2, 1000, 4000)
+//	err = net.GateOff(17) // power management; routing keeps working
+//
+// See the examples/ directory for runnable programs and cmd/sfexp for the
+// experiment harness that regenerates the paper's figures.
+package stringfigure
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"repro/internal/netsim"
+	"repro/internal/reconfig"
+	"repro/internal/stats"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+// Options configures a String Figure network.
+type Options struct {
+	// Nodes is the number of memory nodes (any value >= 2; the paper
+	// evaluates up to 1296).
+	Nodes int
+	// Ports is the router port count (0 = the paper's default for the
+	// scale: 4 up to 128 nodes, 8 beyond).
+	Ports int
+	// Seed drives topology randomness; equal seeds reproduce identical
+	// networks.
+	Seed int64
+	// Unidirectional selects the strict uni-directional wire variant (the
+	// Section IV ablation: one wire per port half, clockwise-distance
+	// routing). The default is the bidirectional S2-style construction the
+	// paper's performance results correspond to.
+	Unidirectional bool
+	// NoShortcuts disables the pre-provisioned shortcut wires (yields an
+	// S2-ideal style network without elastic down-scaling support).
+	NoShortcuts bool
+}
+
+// Network is a deployed String Figure memory network with routing and
+// elastic reconfiguration.
+type Network struct {
+	sf  *topology.StringFigure
+	net *reconfig.Network
+}
+
+// New generates a String Figure topology and deploys it at full scale.
+func New(o Options) (*Network, error) {
+	if o.Nodes == 0 {
+		return nil, fmt.Errorf("stringfigure: Options.Nodes required")
+	}
+	ports := o.Ports
+	if ports == 0 {
+		ports = topology.PortsForN(o.Nodes)
+	}
+	sf, err := topology.NewStringFigure(topology.Config{
+		N:             o.Nodes,
+		Ports:         ports,
+		Seed:          o.Seed,
+		Bidirectional: !o.Unidirectional,
+		Shortcuts:     !o.NoShortcuts,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Network{sf: sf, net: reconfig.New(sf)}, nil
+}
+
+// Nodes returns the designed network size.
+func (n *Network) Nodes() int { return n.sf.Cfg.N }
+
+// Ports returns the router port count.
+func (n *Network) Ports() int { return n.sf.Cfg.Ports }
+
+// Spaces returns the number of virtual coordinate spaces (ports/2).
+func (n *Network) Spaces() int { return n.sf.Spaces }
+
+// Coordinate returns node v's virtual coordinate in space s, in [0,1).
+func (n *Network) Coordinate(space, v int) float64 { return n.sf.Coord[space][v] }
+
+// OutNeighbors returns the active out-link targets of node v.
+func (n *Network) OutNeighbors(v int) []int {
+	out := n.net.OutNeighbors()[v]
+	return append([]int(nil), out...)
+}
+
+// Route returns the greediest routing path from src to dst over the
+// currently active network, including both endpoints.
+func (n *Network) Route(src, dst int) ([]int, error) {
+	if !n.net.Alive(src) || !n.net.Alive(dst) {
+		return nil, fmt.Errorf("stringfigure: route endpoints must be alive")
+	}
+	return n.net.Router.Route(src, dst)
+}
+
+// MD returns the minimum circular distance between two nodes, the metric
+// greediest routing descends.
+func (n *Network) MD(u, v int) float64 { return n.net.Router.MD(u, v) }
+
+// GateOff powers a node down using the four-step reconfiguration protocol;
+// ring healing through shortcut wires keeps every alive pair routable.
+func (n *Network) GateOff(v int) error { return n.net.GateOff(v) }
+
+// GateOn powers a node back up.
+func (n *Network) GateOn(v int) error { return n.net.GateOn(v) }
+
+// SetMounted applies a bulk alive mask — the static expansion/reduction
+// path for design reuse.
+func (n *Network) SetMounted(mounted []bool) error { return n.net.SetAlive(mounted) }
+
+// Alive reports whether node v is powered on.
+func (n *Network) Alive(v int) bool { return n.net.Alive(v) }
+
+// AliveCount returns the number of powered-on nodes.
+func (n *Network) AliveCount() int { return n.net.AliveCount() }
+
+// ReconfigStats summarizes reconfiguration work so far.
+type ReconfigStats struct {
+	Reconfigs        int
+	LinksDisabled    int
+	LinksEnabled     int
+	HealedByShortcut int
+	HealedBySwitch   int
+}
+
+// ReconfigStats returns the accumulated reconfiguration statistics.
+func (n *Network) ReconfigStats() ReconfigStats {
+	s := n.net.Stats
+	return ReconfigStats{
+		Reconfigs:        s.Reconfigs,
+		LinksDisabled:    s.LinksDisabled,
+		LinksEnabled:     s.LinksEnabled,
+		HealedByShortcut: s.HealedByShortcut,
+		HealedBySwitch:   s.HealedBySwitch,
+	}
+}
+
+// PathStats summarizes shortest-path lengths over the active network.
+type PathStats struct {
+	Mean     float64
+	P10, P90 int
+	Diameter int
+}
+
+// PathLengths computes shortest-path statistics over the alive nodes using
+// BFS from up to maxSources sampled sources (0 = all).
+func (n *Network) PathLengths(maxSources int) PathStats {
+	g := n.net.Graph()
+	if maxSources <= 0 || maxSources > n.sf.Cfg.N {
+		maxSources = n.sf.Cfg.N
+	}
+	// Sample alive sources only.
+	st := g.InducedSubgraphStats(n.net.AliveSlice(), maxSources)
+	return PathStats{Mean: st.Mean, P10: st.P10, P90: st.P90, Diameter: st.Diameter}
+}
+
+// TrafficResults summarizes one synthetic-traffic simulation.
+type TrafficResults struct {
+	Injected        int64
+	Delivered       int64
+	AvgLatencyNs    float64
+	AvgHops         float64
+	P90LatencyNs    float64
+	ThroughputFPC   float64 // delivered flits per node per cycle
+	NetworkEnergyPJ float64
+	Deadlocked      bool
+}
+
+// SimulatePattern runs the flit-level simulator with a Table III traffic
+// pattern ("uniform", "tornado", "hotspot", "opposite", "neighbor",
+// "complement", "partition2") at the given injection rate.
+func (n *Network) SimulatePattern(pattern string, rate float64, warmup, measure int64) (TrafficResults, error) {
+	pat, err := traffic.NewPattern(pattern, n.sf.Cfg.N)
+	if err != nil {
+		return TrafficResults{}, err
+	}
+	return n.simulate(rate, warmup, measure, func(src int, rng *rand.Rand) (int, bool) {
+		return pat(src, rng)
+	})
+}
+
+// SimulateUniform runs uniform random traffic (the most common benchmark).
+func (n *Network) SimulateUniform(rate float64, warmup, measure int64) (TrafficResults, error) {
+	return n.SimulatePattern("uniform", rate, warmup, measure)
+}
+
+func (n *Network) simulate(rate float64, warmup, measure int64,
+	pat func(int, *rand.Rand) (int, bool)) (TrafficResults, error) {
+	cfg := netsim.SFConfig(n.sf, n.sf.Cfg.Seed+1)
+	cfg.Out = n.net.OutNeighbors()
+	cfg.Alg = n.net.Router
+	cfg.VCPolicy = n.net.Router.VirtualChannel
+	cfg.EscapeRoute = netsim.RingEscape(n.sf, n.net.AliveSlice())
+	// Synthetic patterns model request-size (single-flit) packets, the
+	// same normalization the paper's injection-rate axes use.
+	cfg.PacketFlits = 1
+	sim, err := netsim.New(cfg)
+	if err != nil {
+		return TrafficResults{}, err
+	}
+	alive := n.net.AliveSlice()
+	sim.SetPattern(rate, func(src int, rng *rand.Rand) (int, bool) {
+		if !alive[src] {
+			return 0, false
+		}
+		dst, ok := pat(src, rng)
+		if !ok || !alive[dst] {
+			return 0, false
+		}
+		return dst, true
+	})
+	res := sim.RunMeasured(warmup, measure)
+	return TrafficResults{
+		Injected:        res.Injected,
+		Delivered:       res.Delivered,
+		AvgLatencyNs:    res.AvgLatencyNs(),
+		AvgHops:         res.AvgHops(),
+		P90LatencyNs:    float64(res.LatencyHist.Percentile(0.90)) * netsim.CycleNs,
+		ThroughputFPC:   res.ThroughputFlitsPerNodeCycle(),
+		NetworkEnergyPJ: float64(res.FlitHops) * 128 * 5,
+		Deadlocked:      res.Deadlocked,
+	}, nil
+}
+
+// SaturationRate sweeps injection rates and returns the highest sustained
+// rate (Figure 10's metric) under uniform traffic.
+func (n *Network) SaturationRate() (float64, error) {
+	pat, err := traffic.NewPattern("uniform", n.sf.Cfg.N)
+	if err != nil {
+		return 0, err
+	}
+	return netsim.FindSaturation(netsim.SaturationConfig{}, func(rate float64) (*netsim.Sim, error) {
+		cfg := netsim.SFConfig(n.sf, n.sf.Cfg.Seed+1)
+		cfg.PacketFlits = 1
+		sim, err := netsim.New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		sim.SetPattern(rate, func(src int, rng *rand.Rand) (int, bool) { return pat(src, rng) })
+		return sim, nil
+	})
+}
+
+// Save persists the topology design (coordinates and wire lists) as JSON —
+// the design-reuse artifact of Section III-C: one generated design deploys
+// across product configurations via SetMounted.
+func (n *Network) Save(w io.Writer) error { return n.sf.Save(w) }
+
+// Open deploys a previously saved topology design at full scale.
+func Open(r io.Reader) (*Network, error) {
+	sf, err := topology.Load(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Network{sf: sf, net: reconfig.New(sf)}, nil
+}
+
+// Series re-exports the experiment output table type for tooling built on
+// this package.
+type Series = stats.Series

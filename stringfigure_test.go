@@ -1,0 +1,209 @@
+package stringfigure
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestNewDefaults(t *testing.T) {
+	net, err := New(Options{Nodes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.Nodes() != 64 || net.Ports() != 4 || net.Spaces() != 2 {
+		t.Errorf("defaults: nodes=%d ports=%d spaces=%d", net.Nodes(), net.Ports(), net.Spaces())
+	}
+	net2, err := New(Options{Nodes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net2.Ports() != 8 {
+		t.Errorf("256-node default ports = %d, want 8", net2.Ports())
+	}
+	if _, err := New(Options{}); err == nil {
+		t.Error("Nodes required")
+	}
+}
+
+func TestRouteAndMD(t *testing.T) {
+	net, err := New(Options{Nodes: 40, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path, err := net.Route(0, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if path[0] != 0 || path[len(path)-1] != 31 {
+		t.Errorf("path endpoints wrong: %v", path)
+	}
+	// MD strictly decreases along the path.
+	prev := net.MD(0, 31)
+	for _, v := range path[1:] {
+		cur := net.MD(v, 31)
+		if cur >= prev {
+			t.Fatalf("MD did not decrease at %d", v)
+		}
+		prev = cur
+	}
+}
+
+func TestCoordinatesExposed(t *testing.T) {
+	net, _ := New(Options{Nodes: 16, Seed: 1})
+	for s := 0; s < net.Spaces(); s++ {
+		c := net.Coordinate(s, 5)
+		if c < 0 || c >= 1 {
+			t.Errorf("coordinate out of range: %v", c)
+		}
+	}
+}
+
+func TestElasticScaling(t *testing.T) {
+	net, err := New(Options{Nodes: 30, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.GateOff(5); err != nil {
+		t.Fatal(err)
+	}
+	if net.Alive(5) || net.AliveCount() != 29 {
+		t.Error("gate off not applied")
+	}
+	if _, err := net.Route(5, 10); err == nil {
+		t.Error("routing from a dead node should fail")
+	}
+	if _, err := net.Route(0, 10); err != nil {
+		t.Errorf("routing among alive nodes failed: %v", err)
+	}
+	if err := net.GateOn(5); err != nil {
+		t.Fatal(err)
+	}
+	st := net.ReconfigStats()
+	if st.Reconfigs != 2 {
+		t.Errorf("Reconfigs = %d, want 2", st.Reconfigs)
+	}
+
+	mounted := make([]bool, 30)
+	for i := 0; i < 20; i++ {
+		mounted[i] = true
+	}
+	if err := net.SetMounted(mounted); err != nil {
+		t.Fatal(err)
+	}
+	if net.AliveCount() != 20 {
+		t.Errorf("AliveCount = %d, want 20", net.AliveCount())
+	}
+}
+
+func TestPathLengths(t *testing.T) {
+	net, _ := New(Options{Nodes: 100, Seed: 3})
+	st := net.PathLengths(20)
+	if st.Mean <= 0 || st.P90 < st.P10 || st.Diameter < st.P90 {
+		t.Errorf("inconsistent path stats: %+v", st)
+	}
+}
+
+func TestSimulateUniform(t *testing.T) {
+	net, _ := New(Options{Nodes: 32, Seed: 4})
+	res, err := net.SimulateUniform(0.05, 400, 1200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Deadlocked {
+		t.Fatal("deadlocked at 5% load")
+	}
+	if res.Delivered == 0 || res.AvgLatencyNs <= 0 || res.AvgHops <= 0 {
+		t.Errorf("bad results: %+v", res)
+	}
+	if res.P90LatencyNs < res.AvgLatencyNs/2 {
+		t.Errorf("P90 (%v) implausibly below mean (%v)", res.P90LatencyNs, res.AvgLatencyNs)
+	}
+}
+
+func TestSimulateAfterGating(t *testing.T) {
+	net, _ := New(Options{Nodes: 32, Seed: 5})
+	for _, v := range []int{3, 9, 21} {
+		if err := net.GateOff(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := net.SimulatePattern("uniform", 0.05, 400, 1200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Deadlocked || res.Delivered == 0 {
+		t.Errorf("gated network unusable: %+v", res)
+	}
+}
+
+func TestSimulateUnknownPattern(t *testing.T) {
+	net, _ := New(Options{Nodes: 16, Seed: 1})
+	if _, err := net.SimulatePattern("bogus", 0.1, 10, 10); err == nil {
+		t.Error("unknown pattern should fail")
+	}
+}
+
+func TestUnidirectionalVariant(t *testing.T) {
+	net, err := New(Options{Nodes: 40, Seed: 6, Unidirectional: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.Route(1, 30); err != nil {
+		t.Errorf("uni-directional routing failed: %v", err)
+	}
+}
+
+func TestSaturationRateSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	net, _ := New(Options{Nodes: 16, Seed: 1})
+	sat, err := net.SaturationRate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sat <= 0 || sat > 1 {
+		t.Errorf("saturation = %v", sat)
+	}
+}
+
+func TestSaveOpenRoundTrip(t *testing.T) {
+	orig, err := New(Options{Nodes: 36, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	reopened, err := Open(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reopened.Nodes() != 36 || reopened.Ports() != orig.Ports() {
+		t.Errorf("reopened network differs: %d nodes %d ports", reopened.Nodes(), reopened.Ports())
+	}
+	// Routing behaves identically.
+	p1, err1 := orig.Route(2, 30)
+	p2, err2 := reopened.Route(2, 30)
+	if err1 != nil || err2 != nil {
+		t.Fatalf("routing failed: %v %v", err1, err2)
+	}
+	if len(p1) != len(p2) {
+		t.Errorf("paths differ: %v vs %v", p1, p2)
+	}
+	// And the reopened design supports elastic scaling.
+	if err := reopened.GateOff(5); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reopened.Route(2, 30); err != nil {
+		t.Errorf("routing after gating on reopened design: %v", err)
+	}
+}
+
+func TestOpenRejectsGarbage(t *testing.T) {
+	if _, err := Open(strings.NewReader("not a design")); err == nil {
+		t.Error("Open should reject garbage")
+	}
+}
