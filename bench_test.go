@@ -219,7 +219,7 @@ func BenchmarkTopologyGeneration(b *testing.B) {
 // BenchmarkGreedyRouting measures per-route decision cost on a 1296-node
 // network (the compute side of the compute+table hybrid).
 func BenchmarkGreedyRouting(b *testing.B) {
-	net, err := New(Options{Nodes: 1296, Seed: 1})
+	net, err := New(WithNodes(1296), WithSeed(1))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -239,7 +239,7 @@ func BenchmarkGreedyRouting(b *testing.B) {
 // BenchmarkReconfiguration measures one gate-off/gate-on cycle including
 // table updates on a 1296-node network.
 func BenchmarkReconfiguration(b *testing.B) {
-	net, err := New(Options{Nodes: 1296, Seed: 1})
+	net, err := New(WithNodes(1296), WithSeed(1))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -258,7 +258,7 @@ func BenchmarkReconfiguration(b *testing.B) {
 // BenchmarkSimulatorCycles measures raw simulator throughput
 // (router-cycles per second) at 256 nodes under uniform load.
 func BenchmarkSimulatorCycles(b *testing.B) {
-	net, err := New(Options{Nodes: 256, Seed: 1})
+	net, err := New(WithNodes(256), WithSeed(1))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -271,5 +271,82 @@ func BenchmarkSimulatorCycles(b *testing.B) {
 		if res.Deadlocked {
 			b.Fatal("deadlock")
 		}
+	}
+}
+
+// sweepBenchPoints is the 8-point injection-rate grid shared by the sweep
+// benchmarks below: compare BenchmarkSweepSerial against
+// BenchmarkSweepParallel at -cpu 4 to see the worker-pool speedup (the
+// parallel sweep is the same deterministic per-point computation fanned
+// over GOMAXPROCS goroutines).
+func sweepBenchPoints() []Point {
+	return RateSweep(SyntheticWorkload{Pattern: "uniform"},
+		[]float64{0.04, 0.08, 0.12, 0.16, 0.20, 0.24, 0.28, 0.32})
+}
+
+var sweepBenchCfg = SessionConfig{Warmup: 500, Measure: 2000, Seed: 1}
+
+// BenchmarkSweepSerial is the serial reference loop: the same per-point
+// sessions and seeds as Sweep, one at a time.
+func BenchmarkSweepSerial(b *testing.B) {
+	net, err := New(WithNodes(64), WithSeed(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	points := sweepBenchPoints()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j, p := range points {
+			cfg := sweepBenchCfg
+			cfg.Seed = PointSeed(sweepBenchCfg.Seed, j)
+			cfg.Rate = p.Rate
+			res, err := net.NewSession(cfg).Run(p.Workload)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Deadlocked {
+				b.Fatal("deadlock")
+			}
+		}
+	}
+}
+
+// BenchmarkSweepParallel fans the same 8 points across GOMAXPROCS workers
+// through the public Sweep API.
+func BenchmarkSweepParallel(b *testing.B) {
+	net, err := New(WithNodes(64), WithSeed(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	points := sweepBenchPoints()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, res := range net.SweepAll(sweepBenchCfg, points, 0) {
+			if res.Err != nil {
+				b.Fatal(res.Err)
+			}
+			if res.Deadlocked {
+				b.Fatal("deadlock")
+			}
+		}
+	}
+}
+
+// BenchmarkTraceSession measures one closed-loop Figure 12 co-simulation
+// through the public API (trace synthesis + DRAM-timed replay).
+func BenchmarkTraceSession(b *testing.B) {
+	net, err := New(WithNodes(64), WithSeed(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := SessionConfig{Ops: 800, Sockets: 2, Window: 8, Threads: 4,
+		MaxCycles: 20_000_000, Seed: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := net.NewSession(cfg).Run(TraceWorkload{Workload: "grep"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.IPC, "ipc")
 	}
 }

@@ -5,15 +5,17 @@
 //
 // Usage:
 //
-//	sfexp -exp fig5|fig9a|fig9b|fig10|fig11|fig12a|fig12b|table2|bisect|ablate|all [-quick]
+//	sfexp -exp fig5|fig9a|fig9b|fig10|fig11|fig12a|fig12b|table2|bisect|sweep|ablate|all [-quick]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
+	stringfigure "repro"
 	"repro/internal/experiments"
 	"repro/internal/stats"
 	"repro/internal/trace"
@@ -21,7 +23,7 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "experiment id (fig5, fig9a, fig9b, fig10, fig11, fig12a, fig12b, table2, bisect, placement, ablate, all)")
+		exp   = flag.String("exp", "all", "experiment id (fig5, fig9a, fig9b, fig10, fig11, fig12a, fig12b, table2, bisect, sweep, placement, ablate, all)")
 		quick = flag.Bool("quick", false, "reduced simulation budget for smoke runs")
 		seed  = flag.Int64("seed", 1, "seed")
 	)
@@ -147,6 +149,39 @@ func main() {
 			return err
 		}
 		print(s, q, m)
+		return nil
+	})
+	run("sweep", func() error {
+		// Figure 11 through the public front door: a parallel injection-rate
+		// sweep over the Workload/Session API, fanned across GOMAXPROCS.
+		n := fig11N
+		net, err := stringfigure.New(stringfigure.WithNodes(n), stringfigure.WithSeed(*seed))
+		if err != nil {
+			return err
+		}
+		rates := []float64{0.05, 0.10, 0.15, 0.20, 0.25, 0.30, 0.40, 0.50}
+		cfg := stringfigure.SessionConfig{Warmup: sc.Warmup, Measure: sc.Measure, Seed: *seed}
+		s := stats.NewSeries(
+			fmt.Sprintf("Public-API rate sweep: sf N=%d uniform, %d workers", n, runtime.GOMAXPROCS(0)),
+			"rate_pct", "lat_ns", "p90_ns", "thru_fpc", "net_nJ")
+		var sweepErr error
+		for res := range net.Sweep(cfg,
+			stringfigure.RateSweep(stringfigure.SyntheticWorkload{Pattern: "uniform"}, rates), 0) {
+			// Drain the channel even on error: abandoning it would leak
+			// the sweep's emitter goroutine.
+			if res.Err != nil {
+				if sweepErr == nil {
+					sweepErr = res.Err
+				}
+				continue
+			}
+			s.AddRow(res.Rate*100, res.AvgLatencyNs, res.P90LatencyNs,
+				res.ThroughputFPC, res.NetworkEnergyPJ/1e3)
+		}
+		if sweepErr != nil {
+			return sweepErr
+		}
+		print(s)
 		return nil
 	})
 	run("ablate", func() error {

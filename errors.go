@@ -1,0 +1,24 @@
+package stringfigure
+
+import "errors"
+
+// Sentinel errors returned by the public API. Callers match them with
+// errors.Is; every error carries additional context via wrapping.
+var (
+	// ErrNodeDead reports an operation addressed at a powered-off node:
+	// routing to or from a gated node, or running a trace-driven workload
+	// with fewer than two alive nodes.
+	ErrNodeDead = errors.New("stringfigure: node is powered off")
+
+	// ErrUnknownPattern reports a synthetic traffic pattern or Table IV
+	// workload name outside the supported set.
+	ErrUnknownPattern = errors.New("stringfigure: unknown pattern or workload")
+
+	// ErrNotRoutable reports that no route exists between two alive nodes —
+	// only possible mid-reconfiguration or on a corrupted routing table; an
+	// intact String Figure network routes every alive pair (Lemma 1).
+	ErrNotRoutable = errors.New("stringfigure: no route between nodes")
+
+	// ErrOutOfRange reports a node or space index outside the network.
+	ErrOutOfRange = errors.New("stringfigure: index out of range")
+)

@@ -1,20 +1,25 @@
-// Memoryworkload: run a full closed-loop memory-system co-simulation — the
-// Figure 12 pipeline — on one workload: synthesize a Table IV trace through
-// the cache hierarchy, attach four CPU sockets to a String Figure network of
-// DRAM-timed memory nodes, and report IPC, latency and dynamic energy.
+// Memoryworkload: run the full closed-loop memory-system co-simulation —
+// the Figure 12 pipeline — through the public Workload/Session API:
+// synthesize Table IV traces through the cache hierarchy, attach four CPU
+// sockets to a String Figure network of DRAM-timed memory nodes, and report
+// IPC, read latency and the network/DRAM energy split. All eight workloads
+// fan out in parallel through Sweep.
 package main
 
 import (
 	"fmt"
 	"log"
 
-	"repro/internal/experiments"
-	"repro/internal/trace"
+	stringfigure "repro"
 )
 
 func main() {
-	wc := experiments.WorkloadConfig{
-		N:         64,
+	const n = 64
+	net, err := stringfigure.New(stringfigure.WithNodes(n), stringfigure.WithSeed(11))
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := stringfigure.SessionConfig{
 		Ops:       3000,
 		Sockets:   4,
 		Window:    16,
@@ -23,28 +28,38 @@ func main() {
 		Seed:      11,
 	}
 	fmt.Printf("memory system: %d nodes x 8 GB, %d CPU sockets, window %d reads/socket\n\n",
-		wc.N, wc.Sockets, wc.Window)
+		n, cfg.Sockets, cfg.Window)
 
-	fmt.Printf("%-11s %10s %10s %12s %12s %12s\n",
-		"workload", "IPC", "pkt ns", "net uJ", "dram uJ", "DRAM ops")
-	for _, wl := range trace.WorkloadNames {
-		res, err := experiments.RunWorkload("sf", wl, wc)
-		if err != nil {
-			log.Fatalf("%s: %v", wl, err)
-		}
-		fmt.Printf("%-11s %10.3f %10.1f %12.2f %12.2f %12d\n",
-			wl, res.IPC, res.AvgPktCycles*3.2,
-			res.NetworkPJ/1e6, res.DRAMPJ/1e6, res.DRAMAccesses)
+	var points []stringfigure.Point
+	for _, wl := range stringfigure.TraceWorkloads() {
+		points = append(points, stringfigure.Point{
+			Workload: stringfigure.TraceWorkload{Workload: wl},
+		})
 	}
 
-	// Compare String Figure against the optimized mesh on one workload.
-	fmt.Println()
-	for _, design := range []string{"dm", "odm", "s2", "sf"} {
-		res, err := experiments.RunWorkload(design, "redis", wc)
-		if err != nil {
-			log.Fatalf("%s: %v", design, err)
+	fmt.Printf("%-11s %10s %10s %10s %12s %12s %12s\n",
+		"workload", "IPC", "read ns", "pkt ns", "net uJ", "dram uJ", "DRAM ops")
+	for res := range net.Sweep(cfg, points, 0) {
+		if res.Err != nil {
+			log.Fatalf("%s: %v", res.Workload, res.Err)
 		}
-		fmt.Printf("redis on %-4s: IPC %.3f, energy %.2f uJ, %d cycles\n",
-			design, res.IPC, res.TotalPJ/1e6, res.Cycles)
+		fmt.Printf("%-11s %10.3f %10.1f %10.1f %12.2f %12.2f %12d\n",
+			res.Workload, res.IPC, res.AvgReadLatencyNs, res.AvgLatencyNs,
+			res.NetworkEnergyPJ/1e6, res.DRAMEnergyPJ/1e6, res.DRAMAccesses)
 	}
+
+	// Elasticity under real workloads: gate a quarter of the nodes off and
+	// rerun — replay only targets alive nodes, so the run still completes.
+	for v := 0; v < n; v += 4 {
+		if err := net.GateOff(v); err != nil {
+			log.Fatal(err)
+		}
+	}
+	sess := net.NewSession(cfg)
+	res, err := sess.Run(stringfigure.TraceWorkload{Workload: "redis"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nredis with %d/%d nodes gated off: IPC %.3f, read latency %.1f ns, energy %.2f uJ\n",
+		n-net.AliveCount(), n, res.IPC, res.AvgReadLatencyNs, res.TotalEnergyPJ/1e6)
 }

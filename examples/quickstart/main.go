@@ -1,10 +1,12 @@
 // Quickstart: build a String Figure memory network, inspect its topology,
-// route packets, and run a short traffic simulation through the public API.
+// route packets, and run a short traffic simulation through the public
+// Workload/Session API.
 package main
 
 import (
 	"fmt"
 	"log"
+	"math/rand"
 
 	stringfigure "repro"
 )
@@ -12,7 +14,7 @@ import (
 func main() {
 	// A 64-node network with the paper's defaults (4-port routers at this
 	// scale, two virtual coordinate spaces, shortcuts provisioned).
-	net, err := stringfigure.New(stringfigure.Options{Nodes: 64, Seed: 42})
+	net, err := stringfigure.New(stringfigure.WithNodes(64), stringfigure.WithSeed(42))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -37,11 +39,29 @@ func main() {
 	fmt.Printf("all-pairs shortest paths: mean %.2f, p10 %d, p90 %d, diameter %d\n",
 		st.Mean, st.P10, st.P90, st.Diameter)
 
-	// Flit-level simulation with uniform random traffic at 10% injection.
-	res, err := net.SimulateUniform(0.10, 1000, 4000)
+	// A Session owns one simulation run: config snapshot, seed, warm-up and
+	// measurement windows. Here: uniform random traffic at 10% injection.
+	sess := net.NewSession(stringfigure.SessionConfig{
+		Rate: 0.10, Warmup: 1000, Measure: 4000, Seed: 1,
+	})
+	res, err := sess.Run(stringfigure.SyntheticWorkload{Pattern: "uniform"})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("uniform traffic @10%%: %d packets, mean latency %.1f ns, %.2f hops avg\n",
-		res.Delivered, res.AvgLatencyNs, res.AvgHops)
+	fmt.Printf("uniform traffic @10%%: %d packets, mean latency %.1f ns, %.2f hops avg, %.1f nJ network\n",
+		res.Delivered, res.AvgLatencyNs, res.AvgHops, res.NetworkEnergyPJ/1e3)
+
+	// Any destination function plugs in as a workload — no registration.
+	ring := stringfigure.FuncWorkload{
+		Label: "ring-neighbor",
+		Dest: func(src int, rng *rand.Rand) (int, bool) {
+			return (src + 1) % 64, true
+		},
+	}
+	res, err = sess.Run(ring)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("custom %s workload: %d packets, mean latency %.1f ns\n",
+		ring.Label, res.Delivered, res.AvgLatencyNs)
 }

@@ -53,13 +53,15 @@ type System struct {
 	pendingResp []pendingResp
 	readCPU     map[int64]int    // outstanding read tag -> cpu index
 	readAddr    map[int64]uint64 // outstanding read tag -> line address
+	readIssue   map[int64]int64  // outstanding read tag -> issue cycle
 	nextTag     int64
 
 	// Stats
-	ReadsIssued   int64
-	WritesIssued  int64
-	ReadsComplete int64
-	DRAMAccesses  int64
+	ReadsIssued    int64
+	WritesIssued   int64
+	ReadsComplete  int64
+	DRAMAccesses   int64
+	ReadLatencySum int64 // total issue-to-retire cycles over completed reads
 }
 
 type pendingResp struct {
@@ -88,10 +90,11 @@ func Build(netCfg netsim.Config, pool *memnode.Pool, cpuNodes []int, window int,
 		window = 8
 	}
 	sys := &System{
-		pool:     pool,
-		window:   window,
-		readCPU:  make(map[int64]int),
-		readAddr: make(map[int64]uint64),
+		pool:      pool,
+		window:    window,
+		readCPU:   make(map[int64]int),
+		readAddr:  make(map[int64]uint64),
+		readIssue: make(map[int64]int64),
 	}
 	netCfg.OnDelivered = sys.onDelivered
 	net, err := netsim.New(netCfg)
@@ -146,6 +149,10 @@ func (s *System) onDelivered(src, dst int, tag int64) {
 		return
 	}
 	delete(s.readCPU, -tag)
+	if issued, ok := s.readIssue[-tag]; ok {
+		s.ReadLatencySum += now - issued
+		delete(s.readIssue, -tag)
+	}
 	s.cpus[ci].outstanding--
 	s.ReadsComplete++
 }
@@ -217,6 +224,7 @@ func (s *System) issueReady(now int64) {
 			s.readAddr[tag] = op.Addr
 			if s.net.Inject(c.node, op.Node, ReqFlits, tag) == nil {
 				s.ReadsIssued++
+				s.readIssue[tag] = now
 				c.outstanding++
 			} else {
 				delete(s.readCPU, tag)
@@ -258,6 +266,7 @@ func (s *System) injectResponses(now int64) {
 			// the run terminates.
 			if ci, ok := s.readCPU[-pr.tag]; ok {
 				delete(s.readCPU, -pr.tag)
+				delete(s.readIssue, -pr.tag)
 				s.cpus[ci].outstanding--
 			}
 		}
@@ -280,16 +289,17 @@ func (s *System) allocTag(write bool, cpuIdx int) int64 {
 
 // Results summarizes a co-simulation.
 type Results struct {
-	Cycles        int64
-	TotalInstrs   int64
-	IPC           float64 // retired instructions per CPU cycle (2 GHz)
-	NetworkPJ     float64
-	DRAMPJ        float64
-	TotalPJ       float64
-	EDP           float64 // pJ x ns
-	AvgPktCycles  float64
-	DRAMAccesses  int64
-	ReadsComplete int64
+	Cycles           int64
+	TotalInstrs      int64
+	IPC              float64 // retired instructions per CPU cycle (2 GHz)
+	NetworkPJ        float64
+	DRAMPJ           float64
+	TotalPJ          float64
+	EDP              float64 // pJ x ns
+	AvgPktCycles     float64
+	AvgReadLatencyNs float64 // mean issue-to-retire read latency
+	DRAMAccesses     int64
+	ReadsComplete    int64
 }
 
 // Results computes the summary for the cycles elapsed so far.
@@ -313,6 +323,9 @@ func (s *System) Results() Results {
 		ReadsComplete: s.ReadsComplete,
 		AvgPktCycles:  netRes.AvgLatencyCycles(),
 	}
+	if s.ReadsComplete > 0 {
+		r.AvgReadLatencyNs = float64(s.ReadLatencySum) / float64(s.ReadsComplete) * netsim.CycleNs
+	}
 	if cycles > 0 {
 		cpuCycles := float64(cycles) * 6.4 // 2 GHz vs 312.5 MHz
 		r.IPC = float64(instrs) / cpuCycles
@@ -320,3 +333,8 @@ func (s *System) Results() Results {
 	}
 	return r
 }
+
+// NetResults exposes the underlying network simulator's metric snapshot so
+// callers can report network-side latency and throughput alongside the
+// memory-system summary.
+func (s *System) NetResults() netsim.Results { return s.net.Results() }

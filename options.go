@@ -1,0 +1,87 @@
+package stringfigure
+
+import (
+	"fmt"
+
+	"repro/internal/reconfig"
+	"repro/internal/topology"
+)
+
+// Options configures a String Figure network. It remains the plain-struct
+// configuration surface behind NewFromOptions; new code should prefer the
+// functional options accepted by New.
+type Options struct {
+	// Nodes is the number of memory nodes (any value >= 2; the paper
+	// evaluates up to 1296).
+	Nodes int
+	// Ports is the router port count (0 = the paper's default for the
+	// scale: 4 up to 128 nodes, 8 beyond).
+	Ports int
+	// Seed drives topology randomness; equal seeds reproduce identical
+	// networks.
+	Seed int64
+	// Unidirectional selects the strict uni-directional wire variant (the
+	// Section IV ablation: one wire per port half, clockwise-distance
+	// routing). The default is the bidirectional S2-style construction the
+	// paper's performance results correspond to.
+	Unidirectional bool
+	// NoShortcuts disables the pre-provisioned shortcut wires (yields an
+	// S2-ideal style network without elastic down-scaling support).
+	NoShortcuts bool
+}
+
+// Option configures New.
+type Option func(*Options)
+
+// WithNodes sets the number of memory nodes (required; >= 2).
+func WithNodes(n int) Option { return func(o *Options) { o.Nodes = n } }
+
+// WithPorts overrides the router port count (0 keeps the paper's default
+// for the scale).
+func WithPorts(p int) Option { return func(o *Options) { o.Ports = p } }
+
+// WithSeed sets the topology seed; equal seeds reproduce identical networks.
+func WithSeed(s int64) Option { return func(o *Options) { o.Seed = s } }
+
+// Unidirectional selects the strict uni-directional wire variant of the
+// Section IV ablation.
+func Unidirectional() Option { return func(o *Options) { o.Unidirectional = true } }
+
+// NoShortcuts disables the pre-provisioned shortcut wires (S2-ideal style,
+// no elastic down-scaling support).
+func NoShortcuts() Option { return func(o *Options) { o.NoShortcuts = true } }
+
+// New generates a String Figure topology and deploys it at full scale:
+//
+//	net, err := stringfigure.New(stringfigure.WithNodes(64), stringfigure.WithSeed(7))
+func New(opts ...Option) (*Network, error) {
+	var o Options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return NewFromOptions(o)
+}
+
+// NewFromOptions deploys a network from a plain Options struct — the
+// pre-functional-options constructor, kept so existing callers compile
+// unchanged.
+func NewFromOptions(o Options) (*Network, error) {
+	if o.Nodes == 0 {
+		return nil, fmt.Errorf("stringfigure: Options.Nodes required (use WithNodes)")
+	}
+	ports := o.Ports
+	if ports == 0 {
+		ports = topology.PortsForN(o.Nodes)
+	}
+	sf, err := topology.NewStringFigure(topology.Config{
+		N:             o.Nodes,
+		Ports:         ports,
+		Seed:          o.Seed,
+		Bidirectional: !o.Unidirectional,
+		Shortcuts:     !o.NoShortcuts,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Network{sf: sf, net: reconfig.New(sf)}, nil
+}

@@ -1,0 +1,290 @@
+package stringfigure
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/energy"
+	"repro/internal/memnode"
+	"repro/internal/memsys"
+	"repro/internal/netsim"
+	"repro/internal/trace"
+	"repro/internal/traffic"
+)
+
+// SessionConfig parameterizes one simulation run. The zero value is usable:
+// every field has a sensible default filled in by NewSession.
+type SessionConfig struct {
+	// Rate is the synthetic injection rate in packets/node/cycle (default
+	// 0.1). Trace-driven workloads ignore it (they are closed-loop: the
+	// offered load emerges from the replay).
+	Rate float64
+	// Warmup and Measure are the synthetic warm-up and measurement windows
+	// in network cycles (defaults 1000 and 4000).
+	Warmup, Measure int64
+	// PacketFlits is the synthetic packet size in flits (default 1, the
+	// request-size normalization the paper's injection-rate axes use).
+	PacketFlits int
+	// Seed drives all run randomness: simulator injection, trace synthesis
+	// and workload models. Equal seeds reproduce identical runs.
+	Seed int64
+
+	// Ops is the per-socket trace length for trace-driven workloads
+	// (default 2000; the paper collects 100k total).
+	Ops int
+	// Sockets is the CPU-socket count (default 4), clamped to the alive
+	// node count.
+	Sockets int
+	// Window is the per-socket outstanding-read budget (default 16).
+	Window int
+	// Threads models cores per socket: instruction gaps shrink by this
+	// factor, making the replay bandwidth-bound (default 4).
+	Threads int
+	// MaxCycles bounds a trace-driven run (default 40M network cycles).
+	MaxCycles int64
+}
+
+func (c *SessionConfig) fill() {
+	if c.Rate <= 0 {
+		c.Rate = 0.1
+	}
+	if c.Warmup <= 0 {
+		c.Warmup = 1000
+	}
+	if c.Measure <= 0 {
+		c.Measure = 4000
+	}
+	if c.PacketFlits <= 0 {
+		c.PacketFlits = 1
+	}
+	if c.Ops <= 0 {
+		c.Ops = 2000
+	}
+	if c.Sockets <= 0 {
+		c.Sockets = 4
+	}
+	if c.Window <= 0 {
+		c.Window = 16
+	}
+	if c.Threads <= 0 {
+		c.Threads = 4
+	}
+	if c.MaxCycles <= 0 {
+		c.MaxCycles = 40_000_000
+	}
+}
+
+// Session owns one simulation run on a Network: a configuration snapshot
+// with its RNG seed and warm-up/measurement windows. Sessions are cheap;
+// create one per run. A single *Network can serve many sessions
+// concurrently — runs take the network's read lock, so they proceed in
+// parallel with each other and serialize only against reconfiguration.
+type Session struct {
+	net *Network
+	cfg SessionConfig
+}
+
+// NewSession prepares a run against the network with defaults filled in.
+func (n *Network) NewSession(cfg SessionConfig) *Session {
+	cfg.fill()
+	return &Session{net: n, cfg: cfg}
+}
+
+// Config returns the session's effective (default-filled) configuration.
+func (s *Session) Config() SessionConfig { return s.cfg }
+
+// Run executes the workload under this session and returns the unified
+// result.
+func (s *Session) Run(w Workload) (Result, error) {
+	res, err := w.run(s)
+	if err != nil {
+		return Result{}, err
+	}
+	res.Workload = w.Name()
+	res.Seed = s.cfg.Seed
+	return res, nil
+}
+
+// Result is the unified outcome of one session run. Synthetic workloads
+// fill the network-side metrics; trace-driven workloads additionally fill
+// the memory-system metrics (IPC, read latency, DRAM energy).
+type Result struct {
+	// Workload and Seed identify the run; Rate is the swept injection rate
+	// (synthetic) or 0 (closed-loop).
+	Workload string
+	Rate     float64
+	Seed     int64
+
+	// Network-side metrics.
+	Cycles        int64
+	Injected      int64
+	Delivered     int64
+	AvgLatencyNs  float64
+	P90LatencyNs  float64
+	AvgHops       float64
+	ThroughputFPC float64 // delivered flits per node per cycle
+	Deadlocked    bool
+
+	// Memory-system metrics (trace-driven runs only).
+	IPC              float64
+	AvgReadLatencyNs float64
+	DRAMAccesses     int64
+	ReadsCompleted   int64
+	TotalInstrs      int64
+
+	// Dynamic-energy split from internal/energy (Table I accounting,
+	// radix-corrected pJ/flit-hop).
+	NetworkEnergyPJ float64
+	DRAMEnergyPJ    float64
+	TotalEnergyPJ   float64
+	EDP             float64 // pJ x ns
+
+	// Err is set instead of a separate return value when the Result is
+	// streamed from Sweep.
+	Err error `json:"-"`
+}
+
+// snapshotCfg assembles a simulator configuration for the network's current
+// active state. Callers must hold n.mu (read side).
+func (n *Network) snapshotCfg(seed int64) netsim.Config {
+	cfg := netsim.SFConfig(n.sf, seed)
+	cfg.Out = n.net.OutNeighbors()
+	cfg.Alg = n.net.Router
+	cfg.VCPolicy = n.net.Router.VirtualChannel
+	cfg.EscapeRoute = netsim.RingEscape(n.sf, n.net.AliveSlice())
+	return cfg
+}
+
+// runSynthetic drives one open-loop synthetic-traffic simulation.
+func (n *Network) runSynthetic(cfg SessionConfig, pat traffic.Pattern) (Result, error) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	simCfg := n.snapshotCfg(cfg.Seed)
+	simCfg.PacketFlits = cfg.PacketFlits
+	sim, err := netsim.New(simCfg)
+	if err != nil {
+		return Result{}, err
+	}
+	alive := n.net.AliveSlice()
+	sim.SetPattern(cfg.Rate, func(src int, rng *rand.Rand) (int, bool) {
+		if !alive[src] {
+			return 0, false
+		}
+		dst, ok := pat(src, rng)
+		if !ok || !alive[dst] {
+			return 0, false
+		}
+		return dst, true
+	})
+	res := sim.RunMeasured(cfg.Warmup, cfg.Measure)
+	var em energy.Model
+	em.AddFlitHopsRadix(res.FlitHops, n.sf.Cfg.Ports)
+	return Result{
+		Rate:            cfg.Rate,
+		Cycles:          res.Cycles,
+		Injected:        res.Injected,
+		Delivered:       res.Delivered,
+		AvgLatencyNs:    res.AvgLatencyNs(),
+		P90LatencyNs:    float64(res.LatencyHist.Percentile(0.90)) * netsim.CycleNs,
+		AvgHops:         res.AvgHops(),
+		ThroughputFPC:   res.ThroughputFlitsPerNodeCycle(),
+		Deadlocked:      res.Deadlocked,
+		NetworkEnergyPJ: em.NetworkPJ(),
+		TotalEnergyPJ:   em.TotalPJ(),
+		EDP:             em.EDP(float64(res.Cycles) * netsim.CycleNs),
+	}, nil
+}
+
+// runTrace drives one closed-loop trace-driven co-simulation (the Figure 12
+// pipeline): synthesize per-socket Table IV traces through the paper's
+// cache hierarchy, replay them against DRAM-timed memory nodes over the
+// active network, and report IPC, read latency and the energy split.
+func (n *Network) runTrace(cfg SessionConfig, workload string) (Result, error) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	alive := n.net.AliveSlice()
+	var aliveNodes []int
+	for v, a := range alive {
+		if a {
+			aliveNodes = append(aliveNodes, v)
+		}
+	}
+	if len(aliveNodes) < 2 {
+		return Result{}, fmt.Errorf("%w: trace run needs >= 2 alive nodes, have %d",
+			ErrNodeDead, len(aliveNodes))
+	}
+	sockets := cfg.Sockets
+	if sockets > len(aliveNodes) {
+		sockets = len(aliveNodes)
+	}
+	// Spread the sockets across the alive nodes (the paper attaches
+	// processors to edge nodes; any subset is legal — Section IV).
+	cpuNodes := make([]int, sockets)
+	for i := range cpuNodes {
+		cpuNodes[i] = aliveNodes[(i*len(aliveNodes))/sockets]
+	}
+	pool, err := memnode.NewPool(n.sf.Cfg.N)
+	if err != nil {
+		return Result{}, err
+	}
+	amap := memnode.NewAddressMap(n.sf.Cfg.N)
+	traces := make([][]trace.Op, sockets)
+	for i := range traces {
+		w, err := trace.NewWorkload(workload, amap.CapacityBytes(), cfg.Seed+int64(i))
+		if err != nil {
+			return Result{}, fmt.Errorf("%w: %v", ErrUnknownPattern, err)
+		}
+		tr, err := trace.Generate(w, amap, cfg.Ops, cfg.Seed+int64(100+i))
+		if err != nil {
+			return Result{}, err
+		}
+		// Liveness filtering (parity with synthetic injection): ops owned
+		// by powered-off nodes never reach the network. Instruction gaps
+		// compress by the per-socket thread count.
+		threads := int64(cfg.Threads)
+		ops := tr.Ops[:0]
+		for _, op := range tr.Ops {
+			if !alive[op.Node] {
+				continue
+			}
+			op.Instr /= threads
+			ops = append(ops, op)
+		}
+		traces[i] = ops
+	}
+	netCfg := n.snapshotCfg(cfg.Seed)
+	sys, err := memsys.Build(netCfg, pool, cpuNodes, cfg.Window, traces)
+	if err != nil {
+		return Result{}, err
+	}
+	sys.Ports = n.sf.Cfg.Ports
+	cycles, done, err := sys.RunToCompletion(cfg.MaxCycles)
+	if err != nil {
+		return Result{}, err
+	}
+	if !done {
+		return Result{}, fmt.Errorf("stringfigure: %s trace run did not finish in %d cycles",
+			workload, cycles)
+	}
+	mres := sys.Results()
+	netRes := sys.NetResults()
+	return Result{
+		Cycles:           mres.Cycles,
+		Injected:         netRes.Injected,
+		Delivered:        netRes.Delivered,
+		AvgLatencyNs:     netRes.AvgLatencyNs(),
+		P90LatencyNs:     float64(netRes.LatencyHist.Percentile(0.90)) * netsim.CycleNs,
+		AvgHops:          netRes.AvgHops(),
+		ThroughputFPC:    netRes.ThroughputFlitsPerNodeCycle(),
+		Deadlocked:       netRes.Deadlocked,
+		IPC:              mres.IPC,
+		AvgReadLatencyNs: mres.AvgReadLatencyNs,
+		DRAMAccesses:     mres.DRAMAccesses,
+		ReadsCompleted:   mres.ReadsComplete,
+		TotalInstrs:      mres.TotalInstrs,
+		NetworkEnergyPJ:  mres.NetworkPJ,
+		DRAMEnergyPJ:     mres.DRAMPJ,
+		TotalEnergyPJ:    mres.TotalPJ,
+		EDP:              mres.EDP,
+	}, nil
+}

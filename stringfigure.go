@@ -6,14 +6,23 @@
 //
 // The package wraps the building blocks under internal/ — topology
 // generation, routing, the flit-level network simulator, the DRAM-timing
-// memory nodes, and the reconfiguration engine — behind a single Network
-// type:
+// memory nodes, and the reconfiguration engine — behind one front door:
 //
-//	net, err := stringfigure.New(stringfigure.Options{Nodes: 64})
+//	net, err := stringfigure.New(stringfigure.WithNodes(64), stringfigure.WithSeed(7))
 //	path, err := net.Route(3, 42)
-//	res, err := net.SimulateUniform(0.2, 1000, 4000)
-//	err = net.GateOff(17) // power management; routing keeps working
 //
+// Simulation runs go through the Workload/Session/Sweep layer, which covers
+// synthetic traffic (Figures 8-11), trace-driven closed-loop memory
+// co-simulation with DRAM timing (Figure 12), and parallel rate sweeps:
+//
+//	sess := net.NewSession(stringfigure.SessionConfig{Rate: 0.2, Seed: 1})
+//	res, err := sess.Run(stringfigure.SyntheticWorkload{Pattern: "uniform"})
+//	res, err = sess.Run(stringfigure.TraceWorkload{Workload: "redis"})
+//
+//	for r := range net.Sweep(cfg, points, 0) { ... } // fan out over GOMAXPROCS
+//
+// A single *Network may run many sessions concurrently; reconfiguration
+// calls (GateOff, GateOn, SetMounted) serialize against in-flight runs.
 // See the examples/ directory for runnable programs and cmd/sfexp for the
 // experiment harness that regenerates the paper's figures.
 package stringfigure
@@ -22,6 +31,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"sync"
 
 	"repro/internal/netsim"
 	"repro/internal/reconfig"
@@ -30,54 +40,16 @@ import (
 	"repro/internal/traffic"
 )
 
-// Options configures a String Figure network.
-type Options struct {
-	// Nodes is the number of memory nodes (any value >= 2; the paper
-	// evaluates up to 1296).
-	Nodes int
-	// Ports is the router port count (0 = the paper's default for the
-	// scale: 4 up to 128 nodes, 8 beyond).
-	Ports int
-	// Seed drives topology randomness; equal seeds reproduce identical
-	// networks.
-	Seed int64
-	// Unidirectional selects the strict uni-directional wire variant (the
-	// Section IV ablation: one wire per port half, clockwise-distance
-	// routing). The default is the bidirectional S2-style construction the
-	// paper's performance results correspond to.
-	Unidirectional bool
-	// NoShortcuts disables the pre-provisioned shortcut wires (yields an
-	// S2-ideal style network without elastic down-scaling support).
-	NoShortcuts bool
-}
-
 // Network is a deployed String Figure memory network with routing and
-// elastic reconfiguration.
+// elastic reconfiguration. Read-side methods and session runs may be used
+// from multiple goroutines; reconfiguration serializes against them.
 type Network struct {
 	sf  *topology.StringFigure
 	net *reconfig.Network
-}
 
-// New generates a String Figure topology and deploys it at full scale.
-func New(o Options) (*Network, error) {
-	if o.Nodes == 0 {
-		return nil, fmt.Errorf("stringfigure: Options.Nodes required")
-	}
-	ports := o.Ports
-	if ports == 0 {
-		ports = topology.PortsForN(o.Nodes)
-	}
-	sf, err := topology.NewStringFigure(topology.Config{
-		N:             o.Nodes,
-		Ports:         ports,
-		Seed:          o.Seed,
-		Bidirectional: !o.Unidirectional,
-		Shortcuts:     !o.NoShortcuts,
-	})
-	if err != nil {
-		return nil, err
-	}
-	return &Network{sf: sf, net: reconfig.New(sf)}, nil
+	// mu serializes reconfiguration (write side) against concurrent
+	// sessions and topology queries (read side).
+	mu sync.RWMutex
 }
 
 // Nodes returns the designed network size.
@@ -90,43 +62,102 @@ func (n *Network) Ports() int { return n.sf.Cfg.Ports }
 func (n *Network) Spaces() int { return n.sf.Spaces }
 
 // Coordinate returns node v's virtual coordinate in space s, in [0,1).
-func (n *Network) Coordinate(space, v int) float64 { return n.sf.Coord[space][v] }
+// Out-of-range indices return 0.
+func (n *Network) Coordinate(space, v int) float64 {
+	if space < 0 || space >= n.sf.Spaces || v < 0 || v >= n.sf.Cfg.N {
+		return 0
+	}
+	return n.sf.Coord[space][v]
+}
 
-// OutNeighbors returns the active out-link targets of node v.
+// OutNeighbors returns the active out-link targets of node v, or nil for an
+// out-of-range index.
 func (n *Network) OutNeighbors(v int) []int {
+	if v < 0 || v >= n.sf.Cfg.N {
+		return nil
+	}
+	n.mu.RLock()
+	defer n.mu.RUnlock()
 	out := n.net.OutNeighbors()[v]
 	return append([]int(nil), out...)
 }
 
 // Route returns the greediest routing path from src to dst over the
-// currently active network, including both endpoints.
+// currently active network, including both endpoints. It reports
+// ErrOutOfRange for invalid indices, ErrNodeDead when either endpoint is
+// powered off, and ErrNotRoutable when greedy forwarding fails (possible
+// only mid-reconfiguration).
 func (n *Network) Route(src, dst int) ([]int, error) {
-	if !n.net.Alive(src) || !n.net.Alive(dst) {
-		return nil, fmt.Errorf("stringfigure: route endpoints must be alive")
+	if src < 0 || src >= n.sf.Cfg.N || dst < 0 || dst >= n.sf.Cfg.N {
+		return nil, fmt.Errorf("%w: route %d -> %d on %d nodes", ErrOutOfRange, src, dst, n.sf.Cfg.N)
 	}
-	return n.net.Router.Route(src, dst)
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	if !n.net.Alive(src) || !n.net.Alive(dst) {
+		return nil, fmt.Errorf("%w: route %d -> %d", ErrNodeDead, src, dst)
+	}
+	path, err := n.net.Router.Route(src, dst)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrNotRoutable, err)
+	}
+	return path, nil
 }
 
 // MD returns the minimum circular distance between two nodes, the metric
-// greediest routing descends.
-func (n *Network) MD(u, v int) float64 { return n.net.Router.MD(u, v) }
+// greediest routing descends. Out-of-range indices return 0.
+func (n *Network) MD(u, v int) float64 {
+	if u < 0 || u >= n.sf.Cfg.N || v < 0 || v >= n.sf.Cfg.N {
+		return 0
+	}
+	return n.net.Router.MD(u, v)
+}
 
 // GateOff powers a node down using the four-step reconfiguration protocol;
 // ring healing through shortcut wires keeps every alive pair routable.
-func (n *Network) GateOff(v int) error { return n.net.GateOff(v) }
+func (n *Network) GateOff(v int) error {
+	if v < 0 || v >= n.sf.Cfg.N {
+		return fmt.Errorf("%w: gate off %d on %d nodes", ErrOutOfRange, v, n.sf.Cfg.N)
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.net.GateOff(v)
+}
 
 // GateOn powers a node back up.
-func (n *Network) GateOn(v int) error { return n.net.GateOn(v) }
+func (n *Network) GateOn(v int) error {
+	if v < 0 || v >= n.sf.Cfg.N {
+		return fmt.Errorf("%w: gate on %d on %d nodes", ErrOutOfRange, v, n.sf.Cfg.N)
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.net.GateOn(v)
+}
 
 // SetMounted applies a bulk alive mask — the static expansion/reduction
 // path for design reuse.
-func (n *Network) SetMounted(mounted []bool) error { return n.net.SetAlive(mounted) }
+func (n *Network) SetMounted(mounted []bool) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.net.SetAlive(mounted)
+}
 
-// Alive reports whether node v is powered on.
-func (n *Network) Alive(v int) bool { return n.net.Alive(v) }
+// Alive reports whether node v is powered on (false for out-of-range
+// indices).
+func (n *Network) Alive(v int) bool {
+	if v < 0 || v >= n.sf.Cfg.N {
+		return false
+	}
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.net.Alive(v)
+}
 
 // AliveCount returns the number of powered-on nodes.
-func (n *Network) AliveCount() int { return n.net.AliveCount() }
+func (n *Network) AliveCount() int {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.net.AliveCount()
+}
 
 // ReconfigStats summarizes reconfiguration work so far.
 type ReconfigStats struct {
@@ -139,6 +170,8 @@ type ReconfigStats struct {
 
 // ReconfigStats returns the accumulated reconfiguration statistics.
 func (n *Network) ReconfigStats() ReconfigStats {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
 	s := n.net.Stats
 	return ReconfigStats{
 		Reconfigs:        s.Reconfigs,
@@ -159,6 +192,8 @@ type PathStats struct {
 // PathLengths computes shortest-path statistics over the alive nodes using
 // BFS from up to maxSources sampled sources (0 = all).
 func (n *Network) PathLengths(maxSources int) PathStats {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
 	g := n.net.Graph()
 	if maxSources <= 0 || maxSources > n.sf.Cfg.N {
 		maxSources = n.sf.Cfg.N
@@ -168,7 +203,9 @@ func (n *Network) PathLengths(maxSources int) PathStats {
 	return PathStats{Mean: st.Mean, P10: st.P10, P90: st.P90, Diameter: st.Diameter}
 }
 
-// TrafficResults summarizes one synthetic-traffic simulation.
+// TrafficResults summarizes one synthetic-traffic simulation — the
+// pre-Session result shape, kept for compatibility. New code should use
+// Session.Run, which returns the unified Result.
 type TrafficResults struct {
 	Injected        int64
 	Delivered       int64
@@ -182,58 +219,37 @@ type TrafficResults struct {
 
 // SimulatePattern runs the flit-level simulator with a Table III traffic
 // pattern ("uniform", "tornado", "hotspot", "opposite", "neighbor",
-// "complement", "partition2") at the given injection rate.
+// "complement", "partition2") at the given injection rate. It is a thin
+// wrapper over the Session engine that keeps the historical argument
+// semantics verbatim: rate 0 injects nothing and warmup 0 measures from
+// cycle 0 (SessionConfig would fill defaults for those).
 func (n *Network) SimulatePattern(pattern string, rate float64, warmup, measure int64) (TrafficResults, error) {
 	pat, err := traffic.NewPattern(pattern, n.sf.Cfg.N)
 	if err != nil {
+		return TrafficResults{}, fmt.Errorf("%w: %v", ErrUnknownPattern, err)
+	}
+	res, err := n.runSynthetic(SessionConfig{
+		Rate: rate, Warmup: warmup, Measure: measure, PacketFlits: 1,
+		Seed: n.sf.Cfg.Seed + 1,
+	}, pat)
+	if err != nil {
 		return TrafficResults{}, err
 	}
-	return n.simulate(rate, warmup, measure, func(src int, rng *rand.Rand) (int, bool) {
-		return pat(src, rng)
-	})
+	return TrafficResults{
+		Injected:        res.Injected,
+		Delivered:       res.Delivered,
+		AvgLatencyNs:    res.AvgLatencyNs,
+		AvgHops:         res.AvgHops,
+		P90LatencyNs:    res.P90LatencyNs,
+		ThroughputFPC:   res.ThroughputFPC,
+		NetworkEnergyPJ: res.NetworkEnergyPJ,
+		Deadlocked:      res.Deadlocked,
+	}, nil
 }
 
 // SimulateUniform runs uniform random traffic (the most common benchmark).
 func (n *Network) SimulateUniform(rate float64, warmup, measure int64) (TrafficResults, error) {
 	return n.SimulatePattern("uniform", rate, warmup, measure)
-}
-
-func (n *Network) simulate(rate float64, warmup, measure int64,
-	pat func(int, *rand.Rand) (int, bool)) (TrafficResults, error) {
-	cfg := netsim.SFConfig(n.sf, n.sf.Cfg.Seed+1)
-	cfg.Out = n.net.OutNeighbors()
-	cfg.Alg = n.net.Router
-	cfg.VCPolicy = n.net.Router.VirtualChannel
-	cfg.EscapeRoute = netsim.RingEscape(n.sf, n.net.AliveSlice())
-	// Synthetic patterns model request-size (single-flit) packets, the
-	// same normalization the paper's injection-rate axes use.
-	cfg.PacketFlits = 1
-	sim, err := netsim.New(cfg)
-	if err != nil {
-		return TrafficResults{}, err
-	}
-	alive := n.net.AliveSlice()
-	sim.SetPattern(rate, func(src int, rng *rand.Rand) (int, bool) {
-		if !alive[src] {
-			return 0, false
-		}
-		dst, ok := pat(src, rng)
-		if !ok || !alive[dst] {
-			return 0, false
-		}
-		return dst, true
-	})
-	res := sim.RunMeasured(warmup, measure)
-	return TrafficResults{
-		Injected:        res.Injected,
-		Delivered:       res.Delivered,
-		AvgLatencyNs:    res.AvgLatencyNs(),
-		AvgHops:         res.AvgHops(),
-		P90LatencyNs:    float64(res.LatencyHist.Percentile(0.90)) * netsim.CycleNs,
-		ThroughputFPC:   res.ThroughputFlitsPerNodeCycle(),
-		NetworkEnergyPJ: float64(res.FlitHops) * 128 * 5,
-		Deadlocked:      res.Deadlocked,
-	}, nil
 }
 
 // SaturationRate sweeps injection rates and returns the highest sustained
@@ -258,7 +274,11 @@ func (n *Network) SaturationRate() (float64, error) {
 // Save persists the topology design (coordinates and wire lists) as JSON —
 // the design-reuse artifact of Section III-C: one generated design deploys
 // across product configurations via SetMounted.
-func (n *Network) Save(w io.Writer) error { return n.sf.Save(w) }
+func (n *Network) Save(w io.Writer) error {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.sf.Save(w)
+}
 
 // Open deploys a previously saved topology design at full scale.
 func Open(r io.Reader) (*Network, error) {

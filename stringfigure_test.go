@@ -2,32 +2,59 @@ package stringfigure
 
 import (
 	"bytes"
+	"errors"
 	"strings"
 	"testing"
+
+	"repro/internal/routing"
 )
 
 func TestNewDefaults(t *testing.T) {
-	net, err := New(Options{Nodes: 64})
+	net, err := New(WithNodes(64))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if net.Nodes() != 64 || net.Ports() != 4 || net.Spaces() != 2 {
 		t.Errorf("defaults: nodes=%d ports=%d spaces=%d", net.Nodes(), net.Ports(), net.Spaces())
 	}
-	net2, err := New(Options{Nodes: 256})
+	net2, err := New(WithNodes(256))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if net2.Ports() != 8 {
 		t.Errorf("256-node default ports = %d, want 8", net2.Ports())
 	}
-	if _, err := New(Options{}); err == nil {
+	if _, err := New(); err == nil {
 		t.Error("Nodes required")
 	}
 }
 
+func TestNewFromOptionsShim(t *testing.T) {
+	// The struct constructor and functional options must build identical
+	// networks from identical parameters.
+	a, err := NewFromOptions(Options{Nodes: 48, Seed: 9, Unidirectional: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(WithNodes(48), WithSeed(9), Unidirectional())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Ports() != b.Ports() || a.Spaces() != b.Spaces() {
+		t.Fatalf("shim mismatch: %d/%d ports, %d/%d spaces",
+			a.Ports(), b.Ports(), a.Spaces(), b.Spaces())
+	}
+	for v := 0; v < 48; v++ {
+		for s := 0; s < a.Spaces(); s++ {
+			if a.Coordinate(s, v) != b.Coordinate(s, v) {
+				t.Fatalf("coordinate (%d,%d) differs", s, v)
+			}
+		}
+	}
+}
+
 func TestRouteAndMD(t *testing.T) {
-	net, err := New(Options{Nodes: 40, Seed: 2})
+	net, err := New(WithNodes(40), WithSeed(2))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -50,7 +77,7 @@ func TestRouteAndMD(t *testing.T) {
 }
 
 func TestCoordinatesExposed(t *testing.T) {
-	net, _ := New(Options{Nodes: 16, Seed: 1})
+	net, _ := New(WithNodes(16), WithSeed(1))
 	for s := 0; s < net.Spaces(); s++ {
 		c := net.Coordinate(s, 5)
 		if c < 0 || c >= 1 {
@@ -59,8 +86,69 @@ func TestCoordinatesExposed(t *testing.T) {
 	}
 }
 
+func TestBoundsChecked(t *testing.T) {
+	net, _ := New(WithNodes(16), WithSeed(1))
+	// Out-of-range topology queries return zero values instead of panicking
+	// through internal slices.
+	for _, probe := range [][2]int{{-1, 3}, {9, 3}, {0, -1}, {0, 16}} {
+		if c := net.Coordinate(probe[0], probe[1]); c != 0 {
+			t.Errorf("Coordinate(%d,%d) = %v, want 0", probe[0], probe[1], c)
+		}
+	}
+	if md := net.MD(-1, 5); md != 0 {
+		t.Errorf("MD(-1,5) = %v, want 0", md)
+	}
+	if md := net.MD(5, 99); md != 0 {
+		t.Errorf("MD(5,99) = %v, want 0", md)
+	}
+	if out := net.OutNeighbors(-3); out != nil {
+		t.Errorf("OutNeighbors(-3) = %v, want nil", out)
+	}
+	if net.Alive(16) || net.Alive(-1) {
+		t.Error("Alive out of range should be false")
+	}
+	if _, err := net.Route(-1, 5); !errors.Is(err, ErrOutOfRange) {
+		t.Errorf("Route(-1,5) err = %v, want ErrOutOfRange", err)
+	}
+	if _, err := net.Route(0, 16); !errors.Is(err, ErrOutOfRange) {
+		t.Errorf("Route(0,16) err = %v, want ErrOutOfRange", err)
+	}
+	if err := net.GateOff(99); !errors.Is(err, ErrOutOfRange) {
+		t.Errorf("GateOff(99) err = %v, want ErrOutOfRange", err)
+	}
+	if err := net.GateOn(-1); !errors.Is(err, ErrOutOfRange) {
+		t.Errorf("GateOn(-1) err = %v, want ErrOutOfRange", err)
+	}
+}
+
+func TestTypedErrors(t *testing.T) {
+	net, _ := New(WithNodes(30), WithSeed(7))
+	if err := net.GateOff(5); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.Route(5, 10); !errors.Is(err, ErrNodeDead) {
+		t.Errorf("route from dead node err = %v, want ErrNodeDead", err)
+	}
+	if _, err := net.Route(10, 5); !errors.Is(err, ErrNodeDead) {
+		t.Errorf("route to dead node err = %v, want ErrNodeDead", err)
+	}
+	if _, err := net.SimulatePattern("bogus", 0.1, 10, 10); !errors.Is(err, ErrUnknownPattern) {
+		t.Errorf("bogus pattern err = %v, want ErrUnknownPattern", err)
+	}
+	sess := net.NewSession(SessionConfig{Ops: 200})
+	if _, err := sess.Run(TraceWorkload{Workload: "bogus"}); !errors.Is(err, ErrUnknownPattern) {
+		t.Errorf("bogus workload err = %v, want ErrUnknownPattern", err)
+	}
+	// ErrNotRoutable is only reachable mid-reconfiguration on real
+	// hardware; emulate the transient by blanking one routing table.
+	net.net.Router.Tables[10] = routing.NewTable(10)
+	if _, err := net.Route(10, 20); !errors.Is(err, ErrNotRoutable) {
+		t.Errorf("unroutable err = %v, want ErrNotRoutable", err)
+	}
+}
+
 func TestElasticScaling(t *testing.T) {
-	net, err := New(Options{Nodes: 30, Seed: 7})
+	net, err := New(WithNodes(30), WithSeed(7))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,7 +185,7 @@ func TestElasticScaling(t *testing.T) {
 }
 
 func TestPathLengths(t *testing.T) {
-	net, _ := New(Options{Nodes: 100, Seed: 3})
+	net, _ := New(WithNodes(100), WithSeed(3))
 	st := net.PathLengths(20)
 	if st.Mean <= 0 || st.P90 < st.P10 || st.Diameter < st.P90 {
 		t.Errorf("inconsistent path stats: %+v", st)
@@ -105,7 +193,7 @@ func TestPathLengths(t *testing.T) {
 }
 
 func TestSimulateUniform(t *testing.T) {
-	net, _ := New(Options{Nodes: 32, Seed: 4})
+	net, _ := New(WithNodes(32), WithSeed(4))
 	res, err := net.SimulateUniform(0.05, 400, 1200)
 	if err != nil {
 		t.Fatal(err)
@@ -119,10 +207,13 @@ func TestSimulateUniform(t *testing.T) {
 	if res.P90LatencyNs < res.AvgLatencyNs/2 {
 		t.Errorf("P90 (%v) implausibly below mean (%v)", res.P90LatencyNs, res.AvgLatencyNs)
 	}
+	if res.NetworkEnergyPJ <= 0 {
+		t.Errorf("network energy not accounted: %+v", res)
+	}
 }
 
 func TestSimulateAfterGating(t *testing.T) {
-	net, _ := New(Options{Nodes: 32, Seed: 5})
+	net, _ := New(WithNodes(32), WithSeed(5))
 	for _, v := range []int{3, 9, 21} {
 		if err := net.GateOff(v); err != nil {
 			t.Fatal(err)
@@ -137,15 +228,8 @@ func TestSimulateAfterGating(t *testing.T) {
 	}
 }
 
-func TestSimulateUnknownPattern(t *testing.T) {
-	net, _ := New(Options{Nodes: 16, Seed: 1})
-	if _, err := net.SimulatePattern("bogus", 0.1, 10, 10); err == nil {
-		t.Error("unknown pattern should fail")
-	}
-}
-
 func TestUnidirectionalVariant(t *testing.T) {
-	net, err := New(Options{Nodes: 40, Seed: 6, Unidirectional: true})
+	net, err := New(WithNodes(40), WithSeed(6), Unidirectional())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -158,7 +242,7 @@ func TestSaturationRateSmall(t *testing.T) {
 	if testing.Short() {
 		t.Skip("simulation sweep")
 	}
-	net, _ := New(Options{Nodes: 16, Seed: 1})
+	net, _ := New(WithNodes(16), WithSeed(1))
 	sat, err := net.SaturationRate()
 	if err != nil {
 		t.Fatal(err)
@@ -169,7 +253,7 @@ func TestSaturationRateSmall(t *testing.T) {
 }
 
 func TestSaveOpenRoundTrip(t *testing.T) {
-	orig, err := New(Options{Nodes: 36, Seed: 13})
+	orig, err := New(WithNodes(36), WithSeed(13))
 	if err != nil {
 		t.Fatal(err)
 	}

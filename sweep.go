@@ -1,0 +1,110 @@
+package stringfigure
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Point is one sweep coordinate: a workload at an injection rate. Rate is
+// ignored by closed-loop (trace-driven) workloads; use 0 there.
+type Point struct {
+	Workload Workload
+	Rate     float64
+}
+
+// RateSweep builds sweep points for one workload across injection rates —
+// the Figure 11 latency-curve shape.
+func RateSweep(w Workload, rates []float64) []Point {
+	pts := make([]Point, len(rates))
+	for i, r := range rates {
+		pts[i] = Point{Workload: w, Rate: r}
+	}
+	return pts
+}
+
+// Sweep fans the points across a worker pool and streams one Result per
+// point, in point order, over the returned channel. workers <= 0 uses
+// GOMAXPROCS. Each point runs in its own Session with a seed derived
+// deterministically from cfg.Seed and the point index, so results are
+// bit-identical regardless of worker count or scheduling. A point that
+// fails yields a Result whose Err field is set (and whose Workload/Rate
+// still identify the point). Consume the channel to completion (or use
+// SweepAll): abandoning it mid-stream leaks the emitter goroutine.
+//
+// Sessions take the network's read lock, so a sweep runs fully in parallel
+// with itself and with other sweeps; reconfiguration calls issued while a
+// sweep is draining serialize against the in-flight runs.
+func (n *Network) Sweep(cfg SessionConfig, points []Point, workers int) <-chan Result {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(points) {
+		workers = len(points)
+	}
+	out := make(chan Result)
+	slots := make([]chan Result, len(points))
+	for i := range slots {
+		slots[i] = make(chan Result, 1)
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				p := points[i]
+				pc := cfg
+				pc.Seed = PointSeed(cfg.Seed, i)
+				if p.Rate > 0 {
+					pc.Rate = p.Rate
+				}
+				if p.Workload == nil {
+					slots[i] <- Result{Seed: pc.Seed, Rate: p.Rate,
+						Err: fmt.Errorf("stringfigure: sweep point %d has no workload", i)}
+					continue
+				}
+				res, err := n.NewSession(pc).Run(p.Workload)
+				if err != nil {
+					res = Result{Workload: p.Workload.Name(), Rate: p.Rate,
+						Seed: pc.Seed, Err: err}
+				}
+				slots[i] <- res
+			}
+		}()
+	}
+	go func() {
+		for i := range points {
+			jobs <- i
+		}
+		close(jobs)
+		wg.Wait()
+	}()
+	// Emit in point order as results land; a slow early point buffers at
+	// most one result per later point (slots are 1-deep).
+	go func() {
+		defer close(out)
+		for i := range points {
+			out <- <-slots[i]
+		}
+	}()
+	return out
+}
+
+// SweepAll runs Sweep and collects the streamed results into a slice,
+// indexed like points.
+func (n *Network) SweepAll(cfg SessionConfig, points []Point, workers int) []Result {
+	results := make([]Result, 0, len(points))
+	for r := range n.Sweep(cfg, points, workers) {
+		results = append(results, r)
+	}
+	return results
+}
+
+// PointSeed derives the deterministic per-point session seed Sweep assigns
+// to point i under base seed. Exposed so serial reference loops can
+// reproduce a sweep exactly.
+func PointSeed(base int64, i int) int64 {
+	return base + int64(i+1)*1_000_003
+}
