@@ -1,9 +1,11 @@
-package stringfigure
+package stringfigure_test
 
 // Tests for the Workload/Session/Sweep public API: synthetic and
 // trace-driven parity on node-liveness filtering, closed-loop end-to-end
 // results against the Figure 12 experiment path, sweep determinism across
-// worker counts, and concurrent session safety.
+// worker counts, and concurrent session safety. This file lives in the
+// external test package (dot-imported for brevity) because the experiments
+// layer it cross-checks is itself a consumer of the public API.
 
 import (
 	"math/rand"
@@ -11,6 +13,7 @@ import (
 	"sync"
 	"testing"
 
+	. "repro"
 	"repro/internal/experiments"
 )
 

@@ -1,4 +1,4 @@
-package stringfigure
+package stringfigure_test
 
 // Benchmark harness: one benchmark per table/figure of the paper's
 // evaluation (Section VI). Each benchmark regenerates its artifact through
@@ -6,11 +6,13 @@ package stringfigure
 // so `go test -bench=. -benchmem` reproduces the paper end to end. The
 // experiments use reduced-but-representative scales so the full suite
 // finishes in minutes; cmd/sfexp runs the full-scale versions, and
-// EXPERIMENTS.md records a complete run.
+// EXPERIMENTS.md records a complete run. External test package (dot-
+// imported): the experiments layer consumes the public API.
 
 import (
 	"testing"
 
+	. "repro"
 	"repro/internal/experiments"
 	"repro/internal/topology"
 )

@@ -25,6 +25,7 @@ func main() {
 	var (
 		exp   = flag.String("exp", "all", "experiment id (fig5, fig9a, fig9b, fig10, fig11, fig12a, fig12b, table2, bisect, sweep, placement, ablate, all)")
 		quick = flag.Bool("quick", false, "reduced simulation budget for smoke runs")
+		scale = flag.Int("scale", 0, "restrict the fig10/fig11 network size to one N (0 = figure defaults)")
 		seed  = flag.Int64("seed", 1, "seed")
 	)
 	flag.Parse()
@@ -44,6 +45,10 @@ func main() {
 		fig9bOps = 600
 		fig10Scales = []int{16, 64}
 		fig11N = 32
+	}
+	if *scale > 0 {
+		fig10Scales = []int{*scale}
+		fig11N = *scale
 	}
 
 	run := func(name string, fn func() error) {

@@ -1,8 +1,8 @@
 // Command sfsim runs one flit-level network simulation on any of the
-// evaluated designs and prints latency, throughput and energy metrics. The
-// String Figure design runs through the public Workload/Session API; the
-// baseline designs (meshes, butterflies, S2) go through the experiment
-// harness, which shares the same simulator and energy accounting.
+// evaluated designs — dm, odm, fb, afb, s2 or sf — and prints latency,
+// throughput and energy metrics. Every design runs through the public
+// Workload/Session API, so all six share the same simulator, routing
+// normalization and energy accounting.
 //
 // Usage:
 //
@@ -12,14 +12,10 @@ package main
 import (
 	"flag"
 	"fmt"
-	"math/rand"
 	"os"
 
 	stringfigure "repro"
 	"repro/internal/energy"
-	"repro/internal/experiments"
-	"repro/internal/netsim"
-	"repro/internal/traffic"
 )
 
 func main() {
@@ -27,7 +23,7 @@ func main() {
 		design  = flag.String("design", "sf", "design: dm, odm, fb, afb, s2, sf")
 		n       = flag.Int("n", 64, "memory nodes")
 		pattern = flag.String("pattern", "uniform", "traffic pattern (Table III)")
-		rate    = flag.Float64("rate", 0.2, "injection rate (packets/node/cycle)")
+		rate    = flag.Float64("rate", 0.2, "injection rate (packets/router/cycle)")
 		warmup  = flag.Int64("warmup", 1500, "warm-up cycles")
 		cycles  = flag.Int64("cycles", 4000, "measured cycles")
 		flits   = flag.Int("flits", 1, "packet size in flits")
@@ -35,79 +31,34 @@ func main() {
 	)
 	flag.Parse()
 
-	if *design == "sf" {
-		runPublic(*n, *pattern, *rate, *warmup, *cycles, *flits, *seed)
-		return
-	}
-	runSUT(*design, *n, *pattern, *rate, *warmup, *cycles, *flits, *seed)
-}
-
-// runPublic drives the String Figure design through the package's front
-// door: Network + Session + SyntheticWorkload.
-func runPublic(n int, pattern string, rate float64, warmup, cycles int64, flits int, seed int64) {
-	net, err := stringfigure.New(stringfigure.WithNodes(n), stringfigure.WithSeed(seed))
+	net, err := stringfigure.New(
+		stringfigure.WithDesign(*design),
+		stringfigure.WithNodes(*n),
+		stringfigure.WithSeed(*seed))
 	if err != nil {
 		fatal(err)
 	}
 	sess := net.NewSession(stringfigure.SessionConfig{
-		Rate: rate, Warmup: warmup, Measure: cycles, PacketFlits: flits, Seed: seed,
+		Rate: *rate, Warmup: *warmup, Measure: *cycles, PacketFlits: *flits, Seed: *seed,
 	})
-	res, err := sess.Run(stringfigure.SyntheticWorkload{Pattern: pattern})
+	res, err := sess.Run(stringfigure.SyntheticWorkload{Pattern: *pattern})
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("design=sf N=%d routers=%d ports=%d pattern=%s rate=%.2f\n",
-		net.Nodes(), net.Nodes(), net.Ports(), pattern, rate)
+
+	delivered := 0.0
+	if res.Injected > 0 {
+		delivered = 100 * float64(res.Delivered) / float64(res.Injected)
+	}
+	fmt.Printf("design=%s N=%d routers=%d ports=%d pattern=%s rate=%.2f\n",
+		net.Design(), net.Nodes(), net.Routers(), net.Ports(), *pattern, *rate)
 	fmt.Printf("injected:   %d packets\n", res.Injected)
-	fmt.Printf("delivered:  %d packets\n", res.Delivered)
+	fmt.Printf("delivered:  %d packets (%.1f%%)\n", res.Delivered, delivered)
 	fmt.Printf("latency:    mean %.1f ns, p90 %.1f ns\n", res.AvgLatencyNs, res.P90LatencyNs)
 	fmt.Printf("hops:       mean %.2f\n", res.AvgHops)
 	fmt.Printf("throughput: %.4f flits/node/cycle\n", res.ThroughputFPC)
 	fmt.Printf("energy:     %.1f nJ network dynamic (%.2f pJ/bit-hop at radix %d)\n",
 		res.NetworkEnergyPJ/1e3, energy.PJPerBitHopForRadix(net.Ports()), net.Ports())
-	fmt.Printf("deadlocked: %v\n", res.Deadlocked)
-}
-
-// runSUT drives a baseline design through the experiment harness.
-func runSUT(design string, n int, pattern string, rate float64, warmup, cycles int64, flits int, seed int64) {
-	sut, err := experiments.BuildSUT(design, n, seed)
-	if err != nil {
-		fatal(err)
-	}
-	pat, err := traffic.NewPattern(pattern, sut.N)
-	if err != nil {
-		fatal(err)
-	}
-	cfg := sut.NetCfg(seed)
-	cfg.PacketFlits = flits
-	sim, err := netsim.New(cfg)
-	if err != nil {
-		fatal(err)
-	}
-	sim.SetPattern(rate, func(src int, rng *rand.Rand) (int, bool) {
-		dst, ok := pat(src%sut.N, rng)
-		if !ok {
-			return 0, false
-		}
-		r := sut.NodeRouter(dst)
-		return r, r != src
-	})
-	res := sim.RunMeasured(warmup, cycles)
-
-	var em energy.Model
-	em.AddFlitHopsRadix(res.FlitHops, sut.Ports)
-	fmt.Printf("design=%s N=%d routers=%d ports=%d pattern=%s rate=%.2f\n",
-		sut.Name, sut.N, sut.Routers, sut.Ports, pattern, rate)
-	fmt.Printf("injected:   %d packets\n", res.Injected)
-	fmt.Printf("delivered:  %d packets (%.1f%%)\n", res.Delivered, 100*res.DeliveredFraction())
-	fmt.Printf("latency:    mean %.1f ns, p50 %.1f ns, p90 %.1f ns\n",
-		res.AvgLatencyNs(),
-		float64(res.LatencyHist.Percentile(0.5))*netsim.CycleNs,
-		float64(res.LatencyHist.Percentile(0.9))*netsim.CycleNs)
-	fmt.Printf("hops:       mean %.2f\n", res.AvgHops())
-	fmt.Printf("throughput: %.4f flits/node/cycle\n", res.ThroughputFlitsPerNodeCycle())
-	fmt.Printf("energy:     %.1f nJ network dynamic (%.2f pJ/bit-hop at radix %d)\n",
-		em.NetworkPJ()/1e3, energy.PJPerBitHopForRadix(sut.Ports), sut.Ports)
 	fmt.Printf("escapes:    %d, drops: %d, deadlocked: %v\n", res.Escaped, res.Dropped, res.Deadlocked)
 }
 

@@ -21,4 +21,13 @@ var (
 
 	// ErrOutOfRange reports a node or space index outside the network.
 	ErrOutOfRange = errors.New("stringfigure: index out of range")
+
+	// ErrUnknownDesign reports a design name outside Designs().
+	ErrUnknownDesign = errors.New("stringfigure: unknown design")
+
+	// ErrNotReconfigurable reports an elastic-scaling operation (GateOff,
+	// GateOn, SetMounted) on a design without reconfiguration support —
+	// only the String Figure family carries the shortcut wires and routing
+	// tables that make power gating safe.
+	ErrNotReconfigurable = errors.New("stringfigure: design does not support reconfiguration")
 )

@@ -3,18 +3,18 @@ package experiments
 import (
 	"math/rand"
 
-	"repro/internal/netsim"
+	stringfigure "repro"
 	"repro/internal/routing"
 	"repro/internal/stats"
 	"repro/internal/topology"
-	"repro/internal/traffic"
 )
 
 // AblationUniBidi reproduces the Section VI sensitivity study on uni-
-// versus bi-directional connections: average greedy path length and
-// saturation injection rate for the strict uni-directional variant (one
-// wire per port half, clockwise metric) against the bidirectional default,
-// at equal port count.
+// versus bi-directional connections: average path length and saturation
+// injection rate for the strict uni-directional variant (one wire per port
+// half, clockwise metric) against the bidirectional default, at equal port
+// count — both through the public API's wire-variant options and parallel
+// saturation search.
 func AblationUniBidi(scales []int, sc SimScale, seed int64) (*stats.Series, error) {
 	if len(scales) == 0 {
 		scales = []int{32, 64, 128, 256}
@@ -25,31 +25,21 @@ func AblationUniBidi(scales []int, sc SimScale, seed int64) (*stats.Series, erro
 		row := []float64{float64(n)}
 		var sats []float64
 		for _, bidi := range []bool{false, true} {
-			sf, err := topology.NewStringFigure(topology.Config{
-				N: n, Ports: topology.PortsForN(n), Seed: seed,
-				Shortcuts: true, Bidirectional: bidi,
-			})
+			opts := []stringfigure.Option{
+				stringfigure.WithNodes(n), stringfigure.WithSeed(seed),
+			}
+			if !bidi {
+				opts = append(opts, stringfigure.Unidirectional())
+			}
+			net, err := stringfigure.New(opts...)
 			if err != nil {
 				return nil, err
 			}
-			st := sf.Graph().SampledPathLengths(min(n, 64), rand.New(rand.NewSource(seed)))
-			row = append(row, st.Mean)
-			pat, err := traffic.NewPattern("uniform", n)
-			if err != nil {
-				return nil, err
-			}
-			sat, err := netsim.FindSaturation(netsim.SaturationConfig{
-				Step: sc.Step, Warmup: sc.Warmup, Measure: sc.Measure,
-			}, func(rate float64) (*netsim.Sim, error) {
-				cfg := netsim.SFConfig(sf, seed)
-				cfg.PacketFlits = 1
-				sim, err := netsim.New(cfg)
-				if err != nil {
-					return nil, err
-				}
-				sim.SetPattern(rate, func(src int, rng *rand.Rand) (int, bool) { return pat(src, rng) })
-				return sim, nil
-			})
+			row = append(row, net.PathLengths(min(n, 64)).Mean)
+			sat, err := net.Saturation(
+				stringfigure.SyntheticWorkload{Pattern: "uniform"},
+				stringfigure.SessionConfig{Warmup: sc.Warmup, Measure: sc.Measure, Seed: seed},
+				stringfigure.SaturationConfig{Step: sc.Step})
 			if err != nil {
 				return nil, err
 			}
@@ -63,7 +53,8 @@ func AblationUniBidi(scales []int, sc SimScale, seed int64) (*stats.Series, erro
 
 // AblationLookahead measures the value of storing two-hop neighbors in the
 // routing tables (Section III-B's sensitivity study): mean greedy path
-// length with and without the two-hop lookahead.
+// length with and without the two-hop lookahead. It probes the routing
+// mechanism directly — there is no public knob for crippling the tables.
 func AblationLookahead(scales []int, seed int64) (*stats.Series, error) {
 	if len(scales) == 0 {
 		scales = []int{64, 128, 256, 512}
@@ -155,32 +146,26 @@ func AblationShortcuts(n int, gateFracs []float64, seed int64) (*stats.Series, e
 
 // AblationAdaptiveThreshold sweeps the adaptive-routing queue threshold
 // (the paper's user-defined 50% default) at a fixed load and reports mean
-// latency.
+// latency, through the public session knob.
 func AblationAdaptiveThreshold(n int, rate float64, thresholds []float64, sc SimScale, seed int64) (*stats.Series, error) {
 	if len(thresholds) == 0 {
 		thresholds = []float64{0.125, 0.25, 0.5, 0.75, 1.0}
 	}
-	sf, err := topology.NewPaperSF(n, seed)
-	if err != nil {
-		return nil, err
-	}
-	pat, err := traffic.NewPattern("uniform", n)
+	net, err := buildNet("sf", n, seed)
 	if err != nil {
 		return nil, err
 	}
 	s := stats.NewSeries("Ablation: adaptive threshold sweep (uniform traffic)",
 		"threshold_pct", "latency_ns")
 	for _, th := range thresholds {
-		cfg := netsim.SFConfig(sf, seed)
-		cfg.PacketFlits = 1
-		cfg.AdaptiveThreshold = th
-		sim, err := netsim.New(cfg)
+		res, err := net.NewSession(stringfigure.SessionConfig{
+			Rate: rate, Warmup: sc.Warmup, Measure: sc.Measure,
+			AdaptiveThreshold: th, Seed: seed,
+		}).Run(stringfigure.SyntheticWorkload{Pattern: "uniform"})
 		if err != nil {
 			return nil, err
 		}
-		sim.SetPattern(rate, func(src int, rng *rand.Rand) (int, bool) { return pat(src, rng) })
-		res := sim.RunMeasured(sc.Warmup, sc.Measure)
-		lat := res.AvgLatencyNs()
+		lat := res.AvgLatencyNs
 		if res.Deadlocked || res.Delivered == 0 {
 			lat = 0
 		}

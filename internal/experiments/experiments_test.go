@@ -3,49 +3,9 @@ package experiments
 import (
 	"strings"
 	"testing"
+
+	"repro/internal/design"
 )
-
-func TestBuildSUTAllKinds(t *testing.T) {
-	for _, kind := range SUTNames {
-		n := 128
-		sut, err := BuildSUT(kind, n, 1)
-		if err != nil {
-			t.Fatalf("%s: %v", kind, err)
-		}
-		if sut.N != n {
-			t.Errorf("%s: N = %d, want %d", kind, sut.N, n)
-		}
-		if sut.Routers < 1 || len(sut.Out) != sut.Routers {
-			t.Errorf("%s: routers %d, out %d", kind, sut.Routers, len(sut.Out))
-		}
-		if !sut.Graph.StronglyConnected() {
-			t.Errorf("%s: not strongly connected", kind)
-		}
-		for v := 0; v < n; v++ {
-			r := sut.NodeRouter(v)
-			if r < 0 || r >= sut.Routers {
-				t.Fatalf("%s: node %d -> invalid router %d", kind, v, r)
-			}
-		}
-		cfg := sut.NetCfg(1)
-		if cfg.Alg == nil {
-			t.Errorf("%s: no routing algorithm", kind)
-		}
-	}
-	if _, err := BuildSUT("nope", 16, 1); err == nil {
-		t.Error("unknown kind should fail")
-	}
-}
-
-func TestODMWidthReasonable(t *testing.T) {
-	w, err := ODMWidth(64, 1)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if w < 1 || w > 8 {
-		t.Errorf("ODMWidth(64) = %d, want in [1,8]", w)
-	}
-}
 
 func TestFig5Shape(t *testing.T) {
 	s, err := Fig5([]int{50, 100}, 2, 25)
@@ -121,14 +81,14 @@ func TestFig10Quick(t *testing.T) {
 	// Every supported design saturates somewhere in (0,100]; unsupported
 	// scales are recorded as 0 (FB/AFB below 128 nodes).
 	for i, v := range row[1:] {
-		if !Supports(SUTNames[i], 16) {
+		if !design.Supports(design.Names[i], 16) {
 			if v != 0 {
-				t.Errorf("unsupported design %s has value %v", SUTNames[i], v)
+				t.Errorf("unsupported design %s has value %v", design.Names[i], v)
 			}
 			continue
 		}
 		if v <= 0 || v > 100 {
-			t.Errorf("design %s saturation = %v%%", SUTNames[i], v)
+			t.Errorf("design %s saturation = %v%%", design.Names[i], v)
 		}
 	}
 }
@@ -155,11 +115,11 @@ func TestTable2(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(s.Rows) != len(SUTNames) {
+	if len(s.Rows) != len(design.Names) {
 		t.Fatalf("rows = %d", len(s.Rows))
 	}
 	out := s.String()
-	for _, kind := range SUTNames {
+	for _, kind := range design.Names {
 		if !strings.Contains(out, kind) {
 			t.Errorf("missing design %s in table", kind)
 		}
@@ -229,7 +189,7 @@ func TestWorkloadRunQuick(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.IPC <= 0 || res.TotalPJ <= 0 {
+	if res.IPC <= 0 || res.TotalEnergyPJ <= 0 {
 		t.Errorf("bad results: %+v", res)
 	}
 }

@@ -3,6 +3,7 @@ package experiments
 import (
 	"math/rand"
 
+	"repro/internal/design"
 	"repro/internal/graph"
 	"repro/internal/stats"
 	"repro/internal/topology"
@@ -80,20 +81,20 @@ func Fig9a(scales []int, sources int, seed int64) (*stats.Series, error) {
 	for _, n := range scales {
 		row := []float64{float64(n)}
 		var sfP10, sfP90 float64
-		for _, kind := range SUTNames {
-			if !Supports(kind, n) {
+		for _, kind := range design.Names {
+			if !design.Supports(kind, n) {
 				row = append(row, 0) // unsupported scale, matches "N" in Fig 8
 				continue
 			}
-			sut, err := BuildSUT(kind, n, seed)
+			d, err := design.BuildKind(kind, n, seed)
 			if err != nil {
 				return nil, err
 			}
 			src := sources
-			if src <= 0 || src > sut.Routers {
-				src = sut.Routers
+			if src <= 0 || src > d.Routers {
+				src = d.Routers
 			}
-			st := sut.Graph.SampledPathLengths(src, rand.New(rand.NewSource(seed)))
+			st := d.Graph.SampledPathLengths(src, rand.New(rand.NewSource(seed)))
 			row = append(row, st.Mean)
 			if kind == "sf" {
 				sfP10, sfP90 = float64(st.P10), float64(st.P90)
@@ -132,10 +133,10 @@ func Bisection(scales []int, cuts int, seed int64) (*stats.Series, error) {
 		}
 		// Random cuts suit random topologies (any balanced cut is near
 		// minimal); the planar mesh needs its true geometric bisection.
-		meshBW := MeshGeometricBisection(m)
+		meshBW := design.MeshGeometricBisection(m)
 		sfBW := sf.Graph().BisectionBandwidth(cuts, rand.New(rand.NewSource(seed)))
 		s2BW := s2.Graph().BisectionBandwidth(cuts, rand.New(rand.NewSource(seed)))
-		width, err := ODMWidth(n, seed)
+		width, err := design.ODMWidth(n, seed)
 		if err != nil {
 			return nil, err
 		}

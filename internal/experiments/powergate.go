@@ -1,15 +1,12 @@
 package experiments
 
 import (
-	"fmt"
 	"math/rand"
 
-	"repro/internal/memnode"
-	"repro/internal/memsys"
+	stringfigure "repro"
 	"repro/internal/netsim"
 	"repro/internal/reconfig"
 	"repro/internal/stats"
-	"repro/internal/trace"
 )
 
 // Fig9bFractions are the power-gated fractions of Figure 9(b).
@@ -18,12 +15,12 @@ var Fig9bFractions = []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5}
 // Fig9b reproduces Figure 9(b): normalized energy-delay product of real
 // workloads as increasing fractions of a String Figure network are power-
 // gated off. Gated nodes stop serving memory (their pages migrate to alive
-// nodes via the address map over alive nodes) and their routers turn off;
-// the reconfiguration engine heals the topology through shortcut wires. A
-// static-energy proxy scales with the alive fraction, so gating saves
-// energy until the shrunken network's congestion pushes back — Figure
-// 9(b)'s improving efficiency. EDP is normalized to the ungated run per
-// workload.
+// nodes — the public trace sessions interleave pages over alive nodes
+// only) and their routers turn off; the reconfiguration engine heals the
+// topology through shortcut wires. A static-energy proxy scales with the
+// alive fraction, so gating saves energy until the shrunken network's
+// congestion pushes back — Figure 9(b)'s improving efficiency. EDP is
+// normalized to the ungated run per workload.
 func Fig9b(n int, workloads []string, fractions []float64, ops int, seed int64) (*stats.Series, error) {
 	if len(workloads) == 0 {
 		workloads = []string{"wordcount", "redis", "matmul"}
@@ -61,21 +58,24 @@ func Fig9b(n int, workloads []string, fractions []float64, ops int, seed int64) 
 }
 
 // gatedEDP runs one workload on an SF network with the given fraction of
-// nodes gated off and returns the EDP including the static-energy proxy.
+// nodes gated off — all through the public API: GateOff for the elastic
+// down-scaling, ReconfigStats for the transition accounting, and a trace
+// session for the co-simulation — and returns the EDP including the
+// static-energy proxy.
 func gatedEDP(n int, workload string, frac float64, ops int, seed int64) (float64, error) {
-	sut, err := BuildSUT("sf", n, seed)
+	net, err := buildNet("sf", n, seed)
 	if err != nil {
 		return 0, err
 	}
-	net := reconfig.New(sut.SF)
 
-	// Gate a random fraction off, never a CPU-attached node.
+	// Gate a random fraction off, never a likely CPU-attachment node (the
+	// session spreads sockets over the alive nodes).
 	sockets := 4
-	cpuNodes := cpuNodesFor(sockets, n)
 	protected := make(map[int]bool, sockets)
-	for _, v := range cpuNodes {
+	for _, v := range cpuNodesFor(sockets, n) {
 		protected[v] = true
 	}
+	timing := reconfig.DefaultTiming()
 	rng := rand.New(rand.NewSource(seed + 7))
 	toGate := int(frac * float64(n))
 	var transitionNs float64
@@ -84,70 +84,26 @@ func gatedEDP(n int, workload string, frac float64, ops int, seed int64) (float6
 		if protected[v] || !net.Alive(v) {
 			continue
 		}
-		before := net.Stats
+		before := net.ReconfigStats()
 		if err := net.GateOff(v); err != nil {
 			return 0, err
 		}
-		d := net.Stats
-		transitionNs += net.ReconfigLatencyNs(
-			d.LinksDisabled-before.LinksDisabled, d.LinksEnabled-before.LinksEnabled)
+		d := net.ReconfigStats()
+		transitionNs += float64(d.LinksDisabled-before.LinksDisabled)*timing.LinkSleepNs +
+			float64(d.LinksEnabled-before.LinksEnabled)*timing.LinkWakeNs
 		gated++
 	}
 
-	// Build traces over the alive nodes only: memory pages live on alive
-	// nodes after gating.
-	alive := net.AliveSlice()
-	var aliveNodes []int
-	for v, a := range alive {
-		if a {
-			aliveNodes = append(aliveNodes, v)
-		}
-	}
-	amap := memnode.NewAddressMap(len(aliveNodes))
-	pool, err := memnode.NewPool(n)
+	// Replay over the reconfigured network: the public session interleaves
+	// memory pages over the alive nodes and routes over the healed
+	// adjacency with a ring escape over alive nodes.
+	res, err := net.NewSession(stringfigure.SessionConfig{
+		Ops: ops, Sockets: sockets, Window: 16, Threads: 1,
+		MaxCycles: 50_000_000, Seed: seed,
+	}).Run(stringfigure.TraceWorkload{Workload: workload})
 	if err != nil {
 		return 0, err
 	}
-	traces := make([][]trace.Op, sockets)
-	for i := range traces {
-		w, err := trace.NewWorkload(workload, amap.CapacityBytes(), seed+int64(i))
-		if err != nil {
-			return 0, err
-		}
-		tr, err := trace.Generate(w, amap, ops, seed+int64(100+i))
-		if err != nil {
-			return 0, err
-		}
-		for k := range tr.Ops {
-			tr.Ops[k].Node = aliveNodes[tr.Ops[k].Node]
-		}
-		traces[i] = tr.Ops
-	}
-
-	// Simulate on the reconfigured adjacency with reconfigured tables and
-	// a ring escape over alive nodes.
-	cfg := netsim.Config{
-		Out:         net.OutNeighbors(),
-		Alg:         net.Router,
-		VCPolicy:    net.Router.VirtualChannel,
-		EscapeVCs:   2,
-		VCs:         4,
-		EscapeRoute: netsim.RingEscape(sut.SF, alive),
-		Adaptive:    netsim.AdaptiveFirstHop,
-		Seed:        seed,
-	}
-	sys, err := memsys.Build(cfg, pool, cpuNodes, 16, traces)
-	if err != nil {
-		return 0, err
-	}
-	cycles, done, err := sys.RunToCompletion(50_000_000)
-	if err != nil {
-		return 0, err
-	}
-	if !done {
-		return 0, fmt.Errorf("experiments: gated %s run did not finish in %d cycles", workload, cycles)
-	}
-	res := sys.Results()
 
 	// Static-energy proxy: idle routers+links consume power proportional
 	// to the alive node count over the run's wall time. The paper excludes
@@ -163,11 +119,11 @@ func gatedEDP(n int, workload string, frac float64, ops int, seed int64) (float6
 	// trace window would square them into the EDP and swamp the effect the
 	// figure studies.
 	runNs := float64(res.Cycles) * netsim.CycleNs
-	dwellNs := 100 * reconfig.DefaultTiming().MinIntervalNs
+	dwellNs := 100 * timing.MinIntervalNs
 	amortized := transitionNs * runNs / dwellNs
 	delayNs := runNs + amortized
-	alivePJ := staticProxyPJPerNodeNs * float64(len(aliveNodes)) * delayNs
-	totalPJ := res.TotalPJ + alivePJ
+	alivePJ := staticProxyPJPerNodeNs * float64(net.AliveCount()) * delayNs
+	totalPJ := res.TotalEnergyPJ + alivePJ
 	return totalPJ * delayNs, nil
 }
 

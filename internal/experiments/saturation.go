@@ -1,12 +1,11 @@
 package experiments
 
 import (
-	"math/rand"
 	"strconv"
 
-	"repro/internal/netsim"
+	stringfigure "repro"
+	"repro/internal/design"
 	"repro/internal/stats"
-	"repro/internal/traffic"
 )
 
 // SimScale controls simulation effort (cycles per point) so the full sweep
@@ -27,21 +26,12 @@ func QuickSimScale() SimScale {
 	return SimScale{Warmup: 600, Measure: 1500, Step: 0.10}
 }
 
-// memTraffic adapts a memory-node-level pattern to router granularity via
-// the SUT's node->router map (identity for everything except FB/AFB).
-func memTraffic(sut *SUT, p traffic.Pattern) func(src int, rng *rand.Rand) (int, bool) {
-	return func(srcRouter int, rng *rand.Rand) (int, bool) {
-		// Draw a memory-node destination for a node hosted by this router.
-		dstNode, ok := p(srcRouter%sut.N, rng)
-		if !ok {
-			return 0, false
-		}
-		dst := sut.NodeRouter(dstNode)
-		if dst == srcRouter {
-			return 0, false
-		}
-		return dst, true
-	}
+// buildNet deploys one named design through the public front door.
+func buildNet(kind string, n int, seed int64) (*stringfigure.Network, error) {
+	return stringfigure.New(
+		stringfigure.WithDesign(kind),
+		stringfigure.WithNodes(n),
+		stringfigure.WithSeed(seed))
 }
 
 // Fig10Scales are the x-axis points of Figure 10.
@@ -51,10 +41,11 @@ var Fig10Scales = []int{16, 32, 64, 128}
 var Fig10Patterns = []string{"uniform", "hotspot", "tornado"}
 
 // Fig10 reproduces Figure 10: the saturation injection rate (percent of
-// cycles each node injects a single-flit request packet) of every design
+// cycles each router injects a single-flit request packet) of every design
 // across network sizes, for the uniform random, hotspot and tornado
-// patterns. Synthetic-pattern packets are single-flit (request-sized), so
-// the injection-rate axis is comparable with the paper's.
+// patterns. Saturation comes from the public parallel bracketing search,
+// which fans candidate rates across the Sweep worker pool — the result is
+// bit-identical for a fixed seed at any worker count.
 func Fig10(scales []int, patterns []string, sc SimScale, seed int64) ([]*stats.Series, error) {
 	if len(scales) == 0 {
 		scales = Fig10Scales
@@ -68,33 +59,19 @@ func Fig10(scales []int, patterns []string, sc SimScale, seed int64) ([]*stats.S
 			"nodes", "dm", "odm", "fb", "afb", "s2", "sf")
 		for _, n := range scales {
 			row := []float64{float64(n)}
-			for _, kind := range SUTNames {
-				if !Supports(kind, n) {
+			for _, kind := range design.Names {
+				if !design.Supports(kind, n) {
 					row = append(row, 0)
 					continue
 				}
-				sut, err := BuildSUT(kind, n, seed)
+				net, err := buildNet(kind, n, seed)
 				if err != nil {
 					return nil, err
 				}
-				pat, err := traffic.NewPattern(pname, sut.N)
-				if err != nil {
-					return nil, err
-				}
-				sat, err := netsim.FindSaturation(netsim.SaturationConfig{
-					Step:    sc.Step,
-					Warmup:  sc.Warmup,
-					Measure: sc.Measure,
-				}, func(rate float64) (*netsim.Sim, error) {
-					cfg := sut.NetCfg(seed)
-					cfg.PacketFlits = 1
-					sim, err := netsim.New(cfg)
-					if err != nil {
-						return nil, err
-					}
-					sim.SetPattern(rate, memTraffic(sut, pat))
-					return sim, nil
-				})
+				sat, err := net.Saturation(
+					stringfigure.SyntheticWorkload{Pattern: pname},
+					stringfigure.SessionConfig{Warmup: sc.Warmup, Measure: sc.Measure, Seed: seed},
+					stringfigure.SaturationConfig{Step: sc.Step})
 				if err != nil {
 					return nil, err
 				}
@@ -112,48 +89,47 @@ var Fig11Rates = []float64{0.05, 0.10, 0.20, 0.30, 0.40, 0.50, 0.60, 0.70, 0.80}
 
 // Fig11 reproduces Figure 11: average packet latency (ns) versus injection
 // rate for one traffic pattern across designs, at a fixed network size.
+// Each design's rate axis runs as one parallel Sweep through the public
+// API.
 func Fig11(n int, pattern string, rates []float64, sc SimScale, seed int64) (*stats.Series, error) {
 	if len(rates) == 0 {
 		rates = Fig11Rates
 	}
 	s := stats.NewSeries("Figure 11: avg packet latency (ns), "+pattern+" traffic, N="+strconv.Itoa(n),
 		"inj_rate_pct", "dm", "odm", "fb", "afb", "s2", "sf")
-	suts := make(map[string]*SUT)
-	for _, kind := range SUTNames {
-		if !Supports(kind, n) {
+	cfg := stringfigure.SessionConfig{Warmup: sc.Warmup, Measure: sc.Measure, Seed: seed}
+	points := stringfigure.RateSweep(stringfigure.SyntheticWorkload{Pattern: pattern}, rates)
+	latencies := make(map[string][]float64, len(design.Names))
+	for _, kind := range design.Names {
+		if !design.Supports(kind, n) {
 			continue
 		}
-		sut, err := BuildSUT(kind, n, seed)
+		net, err := buildNet(kind, n, seed)
 		if err != nil {
 			return nil, err
 		}
-		suts[kind] = sut
+		col := make([]float64, len(rates))
+		for i, res := range net.SweepAll(cfg, points, 0) {
+			if res.Err != nil {
+				return nil, res.Err
+			}
+			if res.Deadlocked || res.Delivered == 0 {
+				col[i] = 0 // saturated/unstable: plotted as a gap
+				continue
+			}
+			col[i] = res.AvgLatencyNs
+		}
+		latencies[kind] = col
 	}
-	for _, rate := range rates {
+	for i, rate := range rates {
 		row := []float64{rate * 100}
-		for _, kind := range SUTNames {
-			sut, ok := suts[kind]
+		for _, kind := range design.Names {
+			col, ok := latencies[kind]
 			if !ok {
 				row = append(row, 0)
 				continue
 			}
-			pat, err := traffic.NewPattern(pattern, sut.N)
-			if err != nil {
-				return nil, err
-			}
-			cfg := sut.NetCfg(seed)
-			cfg.PacketFlits = 1
-			sim, err := netsim.New(cfg)
-			if err != nil {
-				return nil, err
-			}
-			sim.SetPattern(rate, memTraffic(sut, pat))
-			res := sim.RunMeasured(sc.Warmup, sc.Measure)
-			if res.Deadlocked || res.Delivered == 0 {
-				row = append(row, 0) // saturated/unstable: plotted as a gap
-				continue
-			}
-			row = append(row, res.AvgLatencyNs())
+			row = append(row, col[i])
 		}
 		s.AddRow(row...)
 	}

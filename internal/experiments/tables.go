@@ -3,6 +3,7 @@ package experiments
 import (
 	"strconv"
 
+	"repro/internal/design"
 	"repro/internal/stats"
 	"repro/internal/topology"
 )
@@ -18,18 +19,18 @@ func Table2(scales []int) (*stats.Series, error) {
 	s := stats.NewSeries("Table II / Figure 8: ports per router and features",
 		append([]string{"high_radix", "port_scaling", "reconfigurable"},
 			intHeaders(scales)...)...)
-	for _, kind := range SUTNames {
+	for _, kind := range design.Names {
 		row := featureRow(kind)
 		for _, n := range scales {
-			if !Supports(kind, n) {
+			if !design.Supports(kind, n) {
 				row = append(row, 0)
 				continue
 			}
-			sut, err := BuildSUT(kind, n, 1)
+			d, err := design.BuildKind(kind, n, 1)
 			if err != nil {
 				return nil, err
 			}
-			row = append(row, float64(sut.Ports))
+			row = append(row, float64(d.Ports))
 		}
 		s.AddLabeledRow(kind, row...)
 	}

@@ -1,10 +1,7 @@
 package experiments
 
 import (
-	"fmt"
-
-	"repro/internal/memnode"
-	"repro/internal/memsys"
+	stringfigure "repro"
 	"repro/internal/stats"
 	"repro/internal/trace"
 )
@@ -47,57 +44,26 @@ func cpuNodesFor(sockets, routers int) []int {
 	return nodes
 }
 
-// RunWorkload trace-drives one workload on one design and returns the
-// co-simulation results.
-func RunWorkload(kind, workload string, wc WorkloadConfig) (memsys.Results, error) {
-	sut, err := BuildSUT(kind, wc.N, wc.Seed)
+// RunWorkload trace-drives one workload on one design through the public
+// Session API and returns the unified co-simulation result.
+func RunWorkload(kind, workload string, wc WorkloadConfig) (stringfigure.Result, error) {
+	net, err := buildNet(kind, wc.N, wc.Seed)
 	if err != nil {
-		return memsys.Results{}, err
+		return stringfigure.Result{}, err
 	}
-	pool, err := memnode.NewPool(sut.Routers)
-	if err != nil {
-		return memsys.Results{}, err
+	threads := wc.Threads
+	if threads < 1 {
+		threads = 1
 	}
-	// Address map over memory nodes; ops carry node IDs, which memsys uses
-	// at router granularity, so map memory nodes to routers here.
-	amap := memnode.NewAddressMap(sut.N)
-	cpuNodes := cpuNodesFor(wc.Sockets, sut.Routers)
-	traces := make([][]trace.Op, wc.Sockets)
-	for i := range traces {
-		w, err := trace.NewWorkload(workload, amap.CapacityBytes(), wc.Seed+int64(i))
-		if err != nil {
-			return memsys.Results{}, err
-		}
-		tr, err := trace.Generate(w, amap, wc.Ops, wc.Seed+int64(100+i))
-		if err != nil {
-			return memsys.Results{}, err
-		}
-		// Map memory-node IDs to routers (identity except FB/AFB) and
-		// compress instruction gaps by the per-socket thread count.
-		threads := int64(wc.Threads)
-		if threads < 1 {
-			threads = 1
-		}
-		for k := range tr.Ops {
-			tr.Ops[k].Node = sut.NodeRouter(tr.Ops[k].Node)
-			tr.Ops[k].Instr /= threads
-		}
-		traces[i] = tr.Ops
-	}
-	sys, err := memsys.Build(sut.NetCfg(wc.Seed), pool, cpuNodes, wc.Window, traces)
-	if err != nil {
-		return memsys.Results{}, err
-	}
-	sys.Ports = sut.Ports
-	cycles, done, err := sys.RunToCompletion(wc.MaxCycles)
-	if err != nil {
-		return memsys.Results{}, err
-	}
-	if !done {
-		return memsys.Results{}, fmt.Errorf("experiments: %s on %s did not finish in %d cycles",
-			workload, kind, cycles)
-	}
-	return sys.Results(), nil
+	sess := net.NewSession(stringfigure.SessionConfig{
+		Ops:       wc.Ops,
+		Sockets:   wc.Sockets,
+		Window:    wc.Window,
+		Threads:   threads,
+		MaxCycles: wc.MaxCycles,
+		Seed:      wc.Seed,
+	})
+	return sess.Run(stringfigure.TraceWorkload{Workload: workload})
 }
 
 // Fig12Designs are the designs of Figure 12 (DM is the normalization
@@ -128,7 +94,7 @@ func Fig12(workloads []string, wc WorkloadConfig) (throughput, energy *stats.Ser
 			if err != nil {
 				return nil, nil, err
 			}
-			results[kind] = cell{ipc: r.IPC, pj: r.TotalPJ}
+			results[kind] = cell{ipc: r.IPC, pj: r.TotalEnergyPJ}
 		}
 		base := results["dm"].ipc
 		tRow := make([]float64, 0, 4)

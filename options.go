@@ -1,43 +1,55 @@
 package stringfigure
 
 import (
+	"errors"
 	"fmt"
 
-	"repro/internal/reconfig"
-	"repro/internal/topology"
+	"repro/internal/design"
 )
 
-// Options configures a String Figure network. It remains the plain-struct
-// configuration surface behind NewFromOptions; new code should prefer the
-// functional options accepted by New.
+// Options configures a network. It remains the plain-struct configuration
+// surface behind NewFromOptions; new code should prefer the functional
+// options accepted by New.
 type Options struct {
+	// Design selects the topology design: "sf" (the default), the "s2"
+	// random baseline, the "dm"/"odm" meshes or the "fb"/"afb" flattened
+	// butterflies — the six designs of the paper's headline comparisons.
+	Design string
 	// Nodes is the number of memory nodes (any value >= 2; the paper
 	// evaluates up to 1296).
 	Nodes int
-	// Ports is the router port count (0 = the paper's default for the
-	// scale: 4 up to 128 nodes, 8 beyond).
+	// Ports is the router port count for the sf/s2 designs (0 = the paper's
+	// default for the scale: 4 up to 128 nodes, 8 beyond). The mesh and
+	// butterfly designs have fixed port layouts.
 	Ports int
 	// Seed drives topology randomness; equal seeds reproduce identical
 	// networks.
 	Seed int64
 	// Unidirectional selects the strict uni-directional wire variant (the
 	// Section IV ablation: one wire per port half, clockwise-distance
-	// routing). The default is the bidirectional S2-style construction the
-	// paper's performance results correspond to.
+	// routing; sf design only). The default is the bidirectional S2-style
+	// construction the paper's performance results correspond to.
 	Unidirectional bool
 	// NoShortcuts disables the pre-provisioned shortcut wires (yields an
-	// S2-ideal style network without elastic down-scaling support).
+	// S2-ideal style network without elastic down-scaling support; sf
+	// design only).
 	NoShortcuts bool
 }
 
 // Option configures New.
 type Option func(*Options)
 
+// WithDesign selects the topology design ("dm", "odm", "fb", "afb", "s2" or
+// "sf"; the default is "sf"). Every design runs through the same
+// Session/Sweep machinery; only the String Figure family supports
+// reconfiguration (GateOff/GateOn/SetMounted).
+func WithDesign(name string) Option { return func(o *Options) { o.Design = name } }
+
 // WithNodes sets the number of memory nodes (required; >= 2).
 func WithNodes(n int) Option { return func(o *Options) { o.Nodes = n } }
 
 // WithPorts overrides the router port count (0 keeps the paper's default
-// for the scale).
+// for the scale; sf/s2 designs only).
 func WithPorts(p int) Option { return func(o *Options) { o.Ports = p } }
 
 // WithSeed sets the topology seed; equal seeds reproduce identical networks.
@@ -51,9 +63,13 @@ func Unidirectional() Option { return func(o *Options) { o.Unidirectional = true
 // no elastic down-scaling support).
 func NoShortcuts() Option { return func(o *Options) { o.NoShortcuts = true } }
 
-// New generates a String Figure topology and deploys it at full scale:
+// Designs lists the supported design names in Figure 8 order.
+func Designs() []string { return append([]string(nil), design.Names...) }
+
+// New builds the selected design and deploys it at full scale:
 //
 //	net, err := stringfigure.New(stringfigure.WithNodes(64), stringfigure.WithSeed(7))
+//	fb, err := stringfigure.New(stringfigure.WithDesign("fb"), stringfigure.WithNodes(128))
 func New(opts ...Option) (*Network, error) {
 	var o Options
 	for _, opt := range opts {
@@ -69,19 +85,19 @@ func NewFromOptions(o Options) (*Network, error) {
 	if o.Nodes == 0 {
 		return nil, fmt.Errorf("stringfigure: Options.Nodes required (use WithNodes)")
 	}
-	ports := o.Ports
-	if ports == 0 {
-		ports = topology.PortsForN(o.Nodes)
-	}
-	sf, err := topology.NewStringFigure(topology.Config{
-		N:             o.Nodes,
-		Ports:         ports,
-		Seed:          o.Seed,
-		Bidirectional: !o.Unidirectional,
-		Shortcuts:     !o.NoShortcuts,
+	d, err := design.Build(design.Spec{
+		Kind:           o.Design,
+		N:              o.Nodes,
+		Ports:          o.Ports,
+		Seed:           o.Seed,
+		Unidirectional: o.Unidirectional,
+		NoShortcuts:    o.NoShortcuts,
 	})
 	if err != nil {
+		if errors.Is(err, design.ErrUnknownKind) {
+			return nil, fmt.Errorf("%w: %q (want one of %v)", ErrUnknownDesign, o.Design, design.Names)
+		}
 		return nil, err
 	}
-	return &Network{sf: sf, net: reconfig.New(sf)}, nil
+	return newNetwork(d), nil
 }

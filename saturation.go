@@ -1,0 +1,111 @@
+package stringfigure
+
+import (
+	"context"
+	"runtime"
+
+	"repro/internal/netsim"
+)
+
+// SaturationConfig controls the parallel bracketing search for a workload's
+// saturation injection rate (Figure 10's metric). The zero value uses the
+// paper's budgets.
+type SaturationConfig struct {
+	// Step is the injection-rate granularity of the search (default 0.05).
+	Step float64
+	// MaxRate bounds the search (default 1.0 packet/router/cycle).
+	MaxRate float64
+	// LatencyCapNs declares saturation when mean packet latency exceeds it
+	// (default 400 network cycles).
+	LatencyCapNs float64
+	// MinDelivered declares saturation when the delivered fraction of the
+	// measured window drops below it (default 0.75).
+	MinDelivered float64
+	// Workers is the candidate-rate fan-out per search wave (<= 0 uses
+	// GOMAXPROCS). The result is bit-identical for any worker count: every
+	// candidate rate derives its seed from its global rate index, and the
+	// reported rate is always the one just below the lowest failing rate.
+	Workers int
+}
+
+func (c *SaturationConfig) fill() {
+	if c.Step <= 0 {
+		c.Step = 0.05
+	}
+	if c.MaxRate <= 0 || c.MaxRate > 1 {
+		c.MaxRate = 1
+	}
+	if c.LatencyCapNs <= 0 {
+		c.LatencyCapNs = 400 * netsim.CycleNs
+	}
+	if c.MinDelivered <= 0 {
+		c.MinDelivered = 0.75
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+}
+
+// Saturation finds the highest injection rate the network sustains under
+// the workload: mean latency under the cap, no deadlock, and deliveries
+// tracking injections. Candidate rates fan out across the Sweep worker pool
+// in waves (a parallel bracketing of the saturation point), replacing the
+// serial rate-by-rate loop the experiments used before.
+func (n *Network) Saturation(w Workload, cfg SessionConfig, sc SaturationConfig) (float64, error) {
+	return n.SaturationContext(context.Background(), w, cfg, sc)
+}
+
+// SaturationContext is Saturation with cooperative cancellation.
+//
+// Determinism: candidate rate i (1-based) is Step*i and runs with
+// PointSeed(cfg.Seed, i-1), independent of wave boundaries, worker count or
+// scheduling; the search returns Step*(f-1) where f is the lowest failing
+// rate index. Both are invariant across worker counts, so a fixed seed
+// yields bit-identical saturation rates at any parallelism.
+func (n *Network) SaturationContext(ctx context.Context, w Workload, cfg SessionConfig, sc SaturationConfig) (float64, error) {
+	sc.fill()
+	cfg.fill()
+	steps := int(sc.MaxRate/sc.Step + 1e-9)
+	sat := 0.0
+	for g := 0; g < steps; g += sc.Workers {
+		hi := g + sc.Workers
+		if hi > steps {
+			hi = steps
+		}
+		rates := make([]float64, 0, hi-g)
+		for i := g; i < hi; i++ {
+			rates = append(rates, sc.Step*float64(i+1))
+		}
+		// Offset the wave's base seed so each candidate's per-point seed
+		// matches its global rate index: with PointSeed(b, j) = b +
+		// (j+1)*1_000_003, local point j of this wave draws
+		// PointSeed(cfg.Seed, g+j) exactly.
+		wc := cfg
+		wc.Seed = cfg.Seed + int64(g)*1_000_003
+		results := n.SweepAllContext(ctx, wc, RateSweep(w, rates), sc.Workers)
+		for _, res := range results {
+			if res.Err != nil {
+				return 0, res.Err
+			}
+			if saturatedAt(res, sc) {
+				return sat, nil
+			}
+			sat = res.Rate
+		}
+	}
+	return sat, nil
+}
+
+// saturatedAt reports whether one measured point failed the sustained-rate
+// criteria.
+func saturatedAt(res Result, sc SaturationConfig) bool {
+	if res.Deadlocked || res.Delivered == 0 {
+		return true
+	}
+	if res.AvgLatencyNs > sc.LatencyCapNs {
+		return true
+	}
+	// Compare deliveries against the steady-state offered load.
+	return res.Injected > 0 &&
+		float64(res.Delivered)/float64(res.Injected) < sc.MinDelivered
+}

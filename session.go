@@ -1,6 +1,7 @@
 package stringfigure
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -15,7 +16,7 @@ import (
 // SessionConfig parameterizes one simulation run. The zero value is usable:
 // every field has a sensible default filled in by NewSession.
 type SessionConfig struct {
-	// Rate is the synthetic injection rate in packets/node/cycle (default
+	// Rate is the synthetic injection rate in packets/router/cycle (default
 	// 0.1). Trace-driven workloads ignore it (they are closed-loop: the
 	// offered load emerges from the replay).
 	Rate float64
@@ -25,6 +26,9 @@ type SessionConfig struct {
 	// PacketFlits is the synthetic packet size in flits (default 1, the
 	// request-size normalization the paper's injection-rate axes use).
 	PacketFlits int
+	// AdaptiveThreshold overrides the adaptive-routing queue-occupancy
+	// threshold (0 keeps the paper's 50% default).
+	AdaptiveThreshold float64
 	// Seed drives all run randomness: simulator injection, trace synthesis
 	// and workload models. Equal seeds reproduce identical runs.
 	Seed int64
@@ -33,7 +37,7 @@ type SessionConfig struct {
 	// (default 2000; the paper collects 100k total).
 	Ops int
 	// Sockets is the CPU-socket count (default 4), clamped to the alive
-	// node count.
+	// router count.
 	Sockets int
 	// Window is the per-socket outstanding-read budget (default 16).
 	Window int
@@ -96,7 +100,14 @@ func (s *Session) Config() SessionConfig { return s.cfg }
 // Run executes the workload under this session and returns the unified
 // result.
 func (s *Session) Run(w Workload) (Result, error) {
-	res, err := w.run(s)
+	return s.RunContext(context.Background(), w)
+}
+
+// RunContext executes the workload with cooperative cancellation: the
+// simulation checks ctx between cycle chunks, so long trace runs and sweep
+// points abort promptly when the context is canceled (returning ctx.Err()).
+func (s *Session) RunContext(ctx context.Context, w Workload) (Result, error) {
+	res, err := w.run(ctx, s)
 	if err != nil {
 		return Result{}, err
 	}
@@ -123,6 +134,8 @@ type Result struct {
 	P90LatencyNs  float64
 	AvgHops       float64
 	ThroughputFPC float64 // delivered flits per node per cycle
+	Escaped       int64   // escape-subnetwork diversions (deadlock pressure)
+	Dropped       int64   // packets dropped as unroutable (reconfig windows)
 	Deadlocked    bool
 
 	// Memory-system metrics (trace-driven runs only).
@@ -146,39 +159,99 @@ type Result struct {
 
 // snapshotCfg assembles a simulator configuration for the network's current
 // active state. Callers must hold n.mu (read side).
-func (n *Network) snapshotCfg(seed int64) netsim.Config {
-	cfg := netsim.SFConfig(n.sf, seed)
-	cfg.Out = n.net.OutNeighbors()
-	cfg.Alg = n.net.Router
-	cfg.VCPolicy = n.net.Router.VirtualChannel
-	cfg.EscapeRoute = netsim.RingEscape(n.sf, n.net.AliveSlice())
-	return cfg
+func (n *Network) snapshotCfg(cfg SessionConfig) netsim.Config {
+	var sc netsim.Config
+	if n.net != nil {
+		sc = netsim.SFConfig(n.d.SF, cfg.Seed)
+		sc.Out = n.net.OutNeighbors()
+		sc.Alg = n.net.Router
+		sc.VCPolicy = n.net.Router.VirtualChannel
+		sc.EscapeRoute = netsim.RingEscape(n.d.SF, n.net.AliveSlice())
+	} else {
+		sc = n.d.NetCfg(cfg.Seed)
+	}
+	if cfg.AdaptiveThreshold > 0 {
+		sc.AdaptiveThreshold = cfg.AdaptiveThreshold
+	}
+	return sc
 }
 
-// runSynthetic drives one open-loop synthetic-traffic simulation.
-func (n *Network) runSynthetic(cfg SessionConfig, pat traffic.Pattern) (Result, error) {
+// simChunk is how many cycles run between cancellation checks.
+const simChunk = 2048
+
+// runChunked advances the simulator with cooperative cancellation.
+func runChunked(ctx context.Context, sim *netsim.Sim, cycles int64) error {
+	for done := int64(0); done < cycles; {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		step := cycles - done
+		if step > simChunk {
+			step = simChunk
+		}
+		sim.Run(step)
+		done += step
+	}
+	return nil
+}
+
+// runSynthetic drives one open-loop synthetic-traffic simulation. The
+// pattern draws memory-node destinations; concentration maps them to
+// routers: each injecting router picks uniformly among its hosted alive
+// nodes as the source, so concentrated FB/AFB routers represent all their
+// nodes' traffic.
+func (n *Network) runSynthetic(ctx context.Context, cfg SessionConfig, pat traffic.Pattern) (Result, error) {
 	n.mu.RLock()
 	defer n.mu.RUnlock()
-	simCfg := n.snapshotCfg(cfg.Seed)
+	simCfg := n.snapshotCfg(cfg)
 	simCfg.PacketFlits = cfg.PacketFlits
 	sim, err := netsim.New(simCfg)
 	if err != nil {
 		return Result{}, err
 	}
-	alive := n.net.AliveSlice()
-	sim.SetPattern(cfg.Rate, func(src int, rng *rand.Rand) (int, bool) {
-		if !alive[src] {
+	// Node liveness snapshot (all alive on designs without reconfiguration;
+	// routers and nodes coincide whenever net != nil).
+	var alive []bool
+	if n.net != nil {
+		alive = n.net.AliveSlice()
+	}
+	nodeAlive := func(v int) bool { return alive == nil || alive[v] }
+	hosted := n.d.RouterNodes
+	sim.SetPattern(cfg.Rate, func(srcRouter int, rng *rand.Rand) (int, bool) {
+		// Pick the source memory node among the router's hosted nodes.
+		nodes := hosted[srcRouter]
+		var src int
+		switch len(nodes) {
+		case 0:
+			return 0, false // router hosts no memory at this scale
+		case 1:
+			src = nodes[0]
+		default:
+			src = nodes[rng.Intn(len(nodes))]
+		}
+		if !nodeAlive(src) {
 			return 0, false
 		}
 		dst, ok := pat(src, rng)
-		if !ok || !alive[dst] {
+		if !ok || !nodeAlive(dst) {
 			return 0, false
 		}
-		return dst, true
+		dstRouter := n.d.NodeRouter(dst)
+		if dstRouter == srcRouter {
+			return 0, false // intra-router traffic never enters the network
+		}
+		return dstRouter, true
 	})
-	res := sim.RunMeasured(cfg.Warmup, cfg.Measure)
+	if err := runChunked(ctx, sim, cfg.Warmup); err != nil {
+		return Result{}, err
+	}
+	sim.ResetStats()
+	if err := runChunked(ctx, sim, cfg.Measure); err != nil {
+		return Result{}, err
+	}
+	res := sim.Results()
 	var em energy.Model
-	em.AddFlitHopsRadix(res.FlitHops, n.sf.Cfg.Ports)
+	em.AddFlitHopsRadix(res.FlitHops, n.d.Ports)
 	return Result{
 		Rate:            cfg.Rate,
 		Cycles:          res.Cycles,
@@ -188,6 +261,8 @@ func (n *Network) runSynthetic(cfg SessionConfig, pat traffic.Pattern) (Result, 
 		P90LatencyNs:    float64(res.LatencyHist.Percentile(0.90)) * netsim.CycleNs,
 		AvgHops:         res.AvgHops(),
 		ThroughputFPC:   res.ThroughputFlitsPerNodeCycle(),
+		Escaped:         res.Escaped,
+		Dropped:         res.Dropped,
 		Deadlocked:      res.Deadlocked,
 		NetworkEnergyPJ: em.NetworkPJ(),
 		TotalEnergyPJ:   em.TotalPJ(),
@@ -199,13 +274,20 @@ func (n *Network) runSynthetic(cfg SessionConfig, pat traffic.Pattern) (Result, 
 // pipeline): synthesize per-socket Table IV traces through the paper's
 // cache hierarchy, replay them against DRAM-timed memory nodes over the
 // active network, and report IPC, read latency and the energy split.
-func (n *Network) runTrace(cfg SessionConfig, workload string) (Result, error) {
+// Memory pages live on alive nodes (gating migrates them), and requests
+// travel at router granularity so the concentrated designs work unchanged.
+func (n *Network) runTrace(ctx context.Context, cfg SessionConfig, workload string) (Result, error) {
 	n.mu.RLock()
 	defer n.mu.RUnlock()
-	alive := n.net.AliveSlice()
+	var alive []bool
+	if n.net != nil {
+		alive = n.net.AliveSlice()
+	}
+	// Memory pages are interleaved over the alive nodes only — gating a
+	// node migrates its pages rather than dropping its traffic.
 	var aliveNodes []int
-	for v, a := range alive {
-		if a {
+	for v := 0; v < n.d.N; v++ {
+		if alive == nil || alive[v] {
 			aliveNodes = append(aliveNodes, v)
 		}
 	}
@@ -213,23 +295,34 @@ func (n *Network) runTrace(cfg SessionConfig, workload string) (Result, error) {
 		return Result{}, fmt.Errorf("%w: trace run needs >= 2 alive nodes, have %d",
 			ErrNodeDead, len(aliveNodes))
 	}
-	sockets := cfg.Sockets
-	if sockets > len(aliveNodes) {
-		sockets = len(aliveNodes)
+	// CPU sockets attach to alive routers (the paper attaches processors to
+	// edge nodes; any subset is legal — Section IV).
+	var aliveRouters []int
+	for r := 0; r < n.d.Routers; r++ {
+		if alive == nil || alive[r] {
+			aliveRouters = append(aliveRouters, r)
+		}
 	}
-	// Spread the sockets across the alive nodes (the paper attaches
-	// processors to edge nodes; any subset is legal — Section IV).
+	sockets := cfg.Sockets
+	if sockets > len(aliveRouters) {
+		sockets = len(aliveRouters)
+	}
 	cpuNodes := make([]int, sockets)
 	for i := range cpuNodes {
-		cpuNodes[i] = aliveNodes[(i*len(aliveNodes))/sockets]
+		cpuNodes[i] = aliveRouters[(i*len(aliveRouters))/sockets]
 	}
-	pool, err := memnode.NewPool(n.sf.Cfg.N)
+	pool, err := memnode.NewPool(n.d.Routers)
 	if err != nil {
 		return Result{}, err
 	}
-	amap := memnode.NewAddressMap(n.sf.Cfg.N)
+	amap := memnode.NewAddressMap(len(aliveNodes))
 	traces := make([][]trace.Op, sockets)
 	for i := range traces {
+		// Trace synthesis is CPU-heavy (hundreds of thousands of cache
+		// accesses per socket); honor cancellation between sockets too.
+		if err := ctx.Err(); err != nil {
+			return Result{}, err
+		}
 		w, err := trace.NewWorkload(workload, amap.CapacityBytes(), cfg.Seed+int64(i))
 		if err != nil {
 			return Result{}, fmt.Errorf("%w: %v", ErrUnknownPattern, err)
@@ -238,27 +331,22 @@ func (n *Network) runTrace(cfg SessionConfig, workload string) (Result, error) {
 		if err != nil {
 			return Result{}, err
 		}
-		// Liveness filtering (parity with synthetic injection): ops owned
-		// by powered-off nodes never reach the network. Instruction gaps
-		// compress by the per-socket thread count.
+		// Ops address alive memory nodes; the network sees their routers.
+		// Instruction gaps compress by the per-socket thread count.
 		threads := int64(cfg.Threads)
-		ops := tr.Ops[:0]
-		for _, op := range tr.Ops {
-			if !alive[op.Node] {
-				continue
-			}
-			op.Instr /= threads
-			ops = append(ops, op)
+		for k := range tr.Ops {
+			tr.Ops[k].Node = n.d.NodeRouter(aliveNodes[tr.Ops[k].Node])
+			tr.Ops[k].Instr /= threads
 		}
-		traces[i] = ops
+		traces[i] = tr.Ops
 	}
-	netCfg := n.snapshotCfg(cfg.Seed)
+	netCfg := n.snapshotCfg(cfg)
 	sys, err := memsys.Build(netCfg, pool, cpuNodes, cfg.Window, traces)
 	if err != nil {
 		return Result{}, err
 	}
-	sys.Ports = n.sf.Cfg.Ports
-	cycles, done, err := sys.RunToCompletion(cfg.MaxCycles)
+	sys.Ports = n.d.Ports
+	cycles, done, err := sys.RunToCompletionContext(ctx, cfg.MaxCycles)
 	if err != nil {
 		return Result{}, err
 	}
@@ -276,6 +364,8 @@ func (n *Network) runTrace(cfg SessionConfig, workload string) (Result, error) {
 		P90LatencyNs:     float64(netRes.LatencyHist.Percentile(0.90)) * netsim.CycleNs,
 		AvgHops:          netRes.AvgHops(),
 		ThroughputFPC:    netRes.ThroughputFlitsPerNodeCycle(),
+		Escaped:          netRes.Escaped,
+		Dropped:          netRes.Dropped,
 		Deadlocked:       netRes.Deadlocked,
 		IPC:              mres.IPC,
 		AvgReadLatencyNs: mres.AvgReadLatencyNs,

@@ -1,6 +1,7 @@
 package stringfigure
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -36,6 +37,14 @@ func RateSweep(w Workload, rates []float64) []Point {
 // with itself and with other sweeps; reconfiguration calls issued while a
 // sweep is draining serialize against the in-flight runs.
 func (n *Network) Sweep(cfg SessionConfig, points []Point, workers int) <-chan Result {
+	return n.SweepContext(context.Background(), cfg, points, workers)
+}
+
+// SweepContext is Sweep with cooperative cancellation: once ctx is
+// canceled, in-flight points abort at their next cycle chunk and undispatched
+// points are emitted immediately with Err set to ctx.Err(), so the stream
+// still delivers exactly one Result per point.
+func (n *Network) SweepContext(ctx context.Context, cfg SessionConfig, points []Point, workers int) <-chan Result {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -65,7 +74,7 @@ func (n *Network) Sweep(cfg SessionConfig, points []Point, workers int) <-chan R
 						Err: fmt.Errorf("stringfigure: sweep point %d has no workload", i)}
 					continue
 				}
-				res, err := n.NewSession(pc).Run(p.Workload)
+				res, err := n.NewSession(pc).RunContext(ctx, p.Workload)
 				if err != nil {
 					res = Result{Workload: p.Workload.Name(), Rate: p.Rate,
 						Seed: pc.Seed, Err: err}
@@ -76,7 +85,18 @@ func (n *Network) Sweep(cfg SessionConfig, points []Point, workers int) <-chan R
 	}
 	go func() {
 		for i := range points {
-			jobs <- i
+			select {
+			case jobs <- i:
+			case <-ctx.Done():
+				// The point never dispatched; emit its cancellation result
+				// directly so the ordered stream stays complete.
+				p := points[i]
+				res := Result{Rate: p.Rate, Seed: PointSeed(cfg.Seed, i), Err: ctx.Err()}
+				if p.Workload != nil {
+					res.Workload = p.Workload.Name()
+				}
+				slots[i] <- res
+			}
 		}
 		close(jobs)
 		wg.Wait()
@@ -95,8 +115,13 @@ func (n *Network) Sweep(cfg SessionConfig, points []Point, workers int) <-chan R
 // SweepAll runs Sweep and collects the streamed results into a slice,
 // indexed like points.
 func (n *Network) SweepAll(cfg SessionConfig, points []Point, workers int) []Result {
+	return n.SweepAllContext(context.Background(), cfg, points, workers)
+}
+
+// SweepAllContext is SweepAll with cooperative cancellation.
+func (n *Network) SweepAllContext(ctx context.Context, cfg SessionConfig, points []Point, workers int) []Result {
 	results := make([]Result, 0, len(points))
-	for r := range n.Sweep(cfg, points, workers) {
+	for r := range n.SweepContext(ctx, cfg, points, workers) {
 		results = append(results, r)
 	}
 	return results

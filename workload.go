@@ -1,6 +1,7 @@
 package stringfigure
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -16,12 +17,14 @@ import (
 type Workload interface {
 	// Name identifies the workload in Results and logs.
 	Name() string
-	run(s *Session) (Result, error)
+	run(ctx context.Context, s *Session) (Result, error)
 }
 
 // SyntheticWorkload injects one of the Table III synthetic traffic patterns
 // ("uniform", "tornado", "hotspot", "opposite", "neighbor", "complement",
-// "partition2") open-loop at the session's injection rate.
+// "partition2") open-loop at the session's injection rate. Patterns draw
+// memory-node destinations; on concentrated designs the traffic travels
+// between the hosting routers.
 type SyntheticWorkload struct {
 	Pattern string
 }
@@ -29,12 +32,23 @@ type SyntheticWorkload struct {
 // Name implements Workload.
 func (w SyntheticWorkload) Name() string { return w.Pattern }
 
-func (w SyntheticWorkload) run(s *Session) (Result, error) {
+func (w SyntheticWorkload) run(ctx context.Context, s *Session) (Result, error) {
 	pat, err := traffic.NewPattern(w.Pattern, s.net.Nodes())
 	if err != nil {
 		return Result{}, fmt.Errorf("%w: %v", ErrUnknownPattern, err)
 	}
-	return s.net.runSynthetic(s.cfg, pat)
+	return s.net.runSynthetic(ctx, s.cfg, pat)
+}
+
+// runRaw runs the pattern with a verbatim (unfilled) configuration — the
+// engine behind the historical SimulatePattern semantics, where rate 0
+// injects nothing and warmup 0 measures from cycle 0.
+func (w SyntheticWorkload) runRaw(n *Network, cfg SessionConfig) (Result, error) {
+	pat, err := traffic.NewPattern(w.Pattern, n.Nodes())
+	if err != nil {
+		return Result{}, fmt.Errorf("%w: %v", ErrUnknownPattern, err)
+	}
+	return n.runSynthetic(context.Background(), cfg, pat)
 }
 
 // Patterns lists the supported SyntheticWorkload pattern names in Table III
@@ -60,11 +74,11 @@ func (w FuncWorkload) Name() string {
 	return w.Label
 }
 
-func (w FuncWorkload) run(s *Session) (Result, error) {
+func (w FuncWorkload) run(ctx context.Context, s *Session) (Result, error) {
 	if w.Dest == nil {
 		return Result{}, fmt.Errorf("stringfigure: FuncWorkload.Dest required")
 	}
-	return s.net.runSynthetic(s.cfg, traffic.Pattern(w.Dest))
+	return s.net.runSynthetic(ctx, s.cfg, traffic.Pattern(w.Dest))
 }
 
 // TraceWorkload replays one of the Table IV real workloads ("wordcount",
@@ -80,8 +94,8 @@ type TraceWorkload struct {
 // Name implements Workload.
 func (w TraceWorkload) Name() string { return w.Workload }
 
-func (w TraceWorkload) run(s *Session) (Result, error) {
-	return s.net.runTrace(s.cfg, w.Workload)
+func (w TraceWorkload) run(ctx context.Context, s *Session) (Result, error) {
+	return s.net.runTrace(ctx, s.cfg, w.Workload)
 }
 
 // TraceWorkloads lists the supported TraceWorkload names in Table IV order.
