@@ -10,7 +10,9 @@ package stringfigure_test
 // imported): the experiments layer consumes the public API.
 
 import (
+	"runtime"
 	"testing"
+	"time"
 
 	. "repro"
 	"repro/internal/experiments"
@@ -280,7 +282,9 @@ func BenchmarkSimulatorCycles(b *testing.B) {
 // benchmarks below: compare BenchmarkSweepSerial against
 // BenchmarkSweepParallel at -cpu 4 to see the worker-pool speedup (the
 // parallel sweep is the same deterministic per-point computation fanned
-// over GOMAXPROCS goroutines).
+// over GOMAXPROCS goroutines). Both report points/s; the parallel
+// benchmark additionally measures a serial reference pass and reports
+// the end-to-end speedup as a metric.
 func sweepBenchPoints() []Point {
 	return RateSweep(SyntheticWorkload{Pattern: "uniform"},
 		[]float64{0.04, 0.08, 0.12, 0.16, 0.20, 0.24, 0.28, 0.32})
@@ -288,8 +292,25 @@ func sweepBenchPoints() []Point {
 
 var sweepBenchCfg = SessionConfig{Warmup: 500, Measure: 2000, Seed: 1}
 
-// BenchmarkSweepSerial is the serial reference loop: the same per-point
-// sessions and seeds as Sweep, one at a time.
+// sweepBenchSerialPass runs the serial reference loop once: the same
+// per-point sessions and seeds as Sweep, one at a time.
+func sweepBenchSerialPass(b *testing.B, net *Network, points []Point) {
+	b.Helper()
+	for j, p := range points {
+		cfg := sweepBenchCfg
+		cfg.Seed = PointSeed(sweepBenchCfg.Seed, j)
+		cfg.Rate = p.Rate
+		res, err := net.NewSession(cfg).Run(p.Workload)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Deadlocked {
+			b.Fatal("deadlock")
+		}
+	}
+}
+
+// BenchmarkSweepSerial is the serial reference loop.
 func BenchmarkSweepSerial(b *testing.B) {
 	net, err := New(WithNodes(64), WithSeed(1))
 	if err != nil {
@@ -298,29 +319,29 @@ func BenchmarkSweepSerial(b *testing.B) {
 	points := sweepBenchPoints()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		for j, p := range points {
-			cfg := sweepBenchCfg
-			cfg.Seed = PointSeed(sweepBenchCfg.Seed, j)
-			cfg.Rate = p.Rate
-			res, err := net.NewSession(cfg).Run(p.Workload)
-			if err != nil {
-				b.Fatal(err)
-			}
-			if res.Deadlocked {
-				b.Fatal("deadlock")
-			}
-		}
+		sweepBenchSerialPass(b, net, points)
 	}
+	b.ReportMetric(float64(len(points)*b.N)/b.Elapsed().Seconds(), "points/s")
 }
 
 // BenchmarkSweepParallel fans the same 8 points across GOMAXPROCS workers
-// through the public Sweep API.
+// through the public Sweep API and reports the speedup over a serial
+// reference pass measured in the same process. On a single-CPU host the
+// comparison is meaningless (the pool degenerates to the serial loop), so
+// it skips rather than report a misleading ~1.0x.
 func BenchmarkSweepParallel(b *testing.B) {
+	if runtime.GOMAXPROCS(0) == 1 {
+		b.Skip("parallel sweep speedup needs GOMAXPROCS > 1 (run with -cpu 4)")
+	}
 	net, err := New(WithNodes(64), WithSeed(1))
 	if err != nil {
 		b.Fatal(err)
 	}
 	points := sweepBenchPoints()
+	// Untimed serial baseline for the speedup metric.
+	serialStart := time.Now()
+	sweepBenchSerialPass(b, net, points)
+	serialSec := time.Since(serialStart).Seconds()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for _, res := range net.SweepAll(sweepBenchCfg, points, 0) {
@@ -331,6 +352,11 @@ func BenchmarkSweepParallel(b *testing.B) {
 				b.Fatal("deadlock")
 			}
 		}
+	}
+	parallelSec := b.Elapsed().Seconds() / float64(b.N)
+	b.ReportMetric(float64(len(points)*b.N)/b.Elapsed().Seconds(), "points/s")
+	if parallelSec > 0 {
+		b.ReportMetric(serialSec/parallelSec, "speedup")
 	}
 }
 

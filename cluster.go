@@ -1,0 +1,148 @@
+package stringfigure
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/dist"
+)
+
+// Cluster is the coordinator side of distributed sweep execution: it
+// listens for sfworker processes (cmd/sfworker, or ServeWorker embedded
+// elsewhere) and shards sweep points over them. Attach one to a network
+// with WithCluster and run through Network.SweepDistributed /
+// SaturationDistributed; with no workers connected those methods fall
+// back to the in-process pool, so a cluster is always safe to attach.
+//
+// One cluster serves many networks and many concurrent sweeps. Workers
+// may join and leave at any time: joining workers pick up pending points
+// immediately, and points in flight on a lost worker are requeued onto
+// the survivors (after repeated losses a point fails with ErrWorkerLost
+// in its Result). Determinism is unaffected by membership: per-point
+// seeds derive from the sweep's base seed and point index exactly as in
+// the in-process pool, so distributed results are bit-identical to local
+// ones for a fixed seed, at any worker count.
+type Cluster struct {
+	co *dist.Coordinator
+}
+
+// NewCluster starts a coordinator listening on addr ("host:port"; use
+// ":0" to pick a free port, then read Addr).
+func NewCluster(addr string) (*Cluster, error) {
+	co, err := dist.Listen(addr, dist.Config{})
+	if err != nil {
+		return nil, fmt.Errorf("stringfigure: cluster listen: %w", err)
+	}
+	return &Cluster{co: co}, nil
+}
+
+// Addr returns the address workers dial.
+func (c *Cluster) Addr() string { return c.co.Addr() }
+
+// Workers returns the number of connected workers.
+func (c *Cluster) Workers() int { return c.co.Workers() }
+
+// Capacity returns the total concurrent-session slots across workers.
+func (c *Cluster) Capacity() int { return c.co.Capacity() }
+
+// WaitForWorkers blocks until at least n workers are connected, the
+// context is done, or the cluster closes (ErrClusterClosed).
+func (c *Cluster) WaitForWorkers(ctx context.Context, n int) error {
+	if err := c.co.WaitWorkers(ctx, n); err != nil {
+		if errors.Is(err, dist.ErrClosed) {
+			return fmt.Errorf("%w: waiting for workers", ErrClusterClosed)
+		}
+		return err
+	}
+	return nil
+}
+
+// Close disconnects every worker and fails in-flight distributed sweeps
+// with ErrClusterClosed.
+func (c *Cluster) Close() error { return c.co.Close() }
+
+// WorkerOptions configures ServeWorker.
+type WorkerOptions struct {
+	// Parallel is the number of sweep points the worker runs concurrently
+	// (default GOMAXPROCS).
+	Parallel int
+	// DialRetry keeps retrying the initial connection for up to this long,
+	// covering the bring-up order where workers launch before the
+	// coordinator listens (default: one attempt only).
+	DialRetry time.Duration
+}
+
+// ServeWorker dials a cluster coordinator and serves sweep points until
+// the coordinator disconnects (returns nil) or ctx is canceled (returns
+// ctx.Err()). Jobs rebuild the coordinator's network locally from its
+// serialized spec — builds are deterministic, so results are
+// bit-identical to in-process runs — and built networks are cached
+// across jobs. cmd/sfworker is a thin flag wrapper around this function.
+func ServeWorker(ctx context.Context, addr string, o WorkerOptions) error {
+	if o.Parallel <= 0 {
+		o.Parallel = runtime.GOMAXPROCS(0)
+	}
+	conn, err := dist.Dial(ctx, addr, o.DialRetry)
+	if err != nil {
+		return fmt.Errorf("stringfigure: worker dial %s: %w", addr, err)
+	}
+	cache := &netCache{nets: make(map[string]*Network)}
+	return dist.Serve(ctx, conn, o.Parallel, cache.runJob, dist.Config{})
+}
+
+// netCache reuses worker-side networks across the jobs of a sweep (and
+// across sweeps over the same network — a saturation search issues many
+// waves against one spec).
+type netCache struct {
+	mu   sync.Mutex
+	nets map[string]*Network
+}
+
+// cacheCap bounds the worker's resident networks; a coordinator cycling
+// through more specs than this (a Figure 8 scale sweep builds one
+// network per design x scale) evicts everything and rebuilds on demand.
+const cacheCap = 8
+
+func (c *netCache) get(spec networkSpec) (*Network, error) {
+	key := spec.key()
+	c.mu.Lock()
+	if n, ok := c.nets[key]; ok {
+		c.mu.Unlock()
+		return n, nil
+	}
+	c.mu.Unlock()
+	n, err := spec.build()
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	if len(c.nets) >= cacheCap {
+		c.nets = make(map[string]*Network)
+	}
+	c.nets[key] = n
+	c.mu.Unlock()
+	return n, nil
+}
+
+// runJob is the worker-side executor: decode the job, rebuild (or reuse)
+// the network, run the point through the exact in-process code path.
+func (c *netCache) runJob(ctx context.Context, payload []byte) ([]byte, error) {
+	var job wireJob
+	if err := decodeWire(payload, &job); err != nil {
+		return nil, fmt.Errorf("stringfigure: worker decode job: %w", err)
+	}
+	net, err := c.get(job.Spec)
+	if err != nil {
+		return nil, fmt.Errorf("stringfigure: worker build network: %w", err)
+	}
+	p, err := job.Point.point()
+	if err != nil {
+		return nil, err
+	}
+	res := net.runPoint(ctx, job.Cfg, p, job.Index)
+	return encodeWire(resultToWire(res))
+}

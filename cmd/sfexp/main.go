@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -23,12 +24,40 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "experiment id (fig5, fig9a, fig9b, fig10, fig11, fig12a, fig12b, table2, bisect, sweep, placement, ablate, all)")
-		quick = flag.Bool("quick", false, "reduced simulation budget for smoke runs")
-		scale = flag.Int("scale", 0, "restrict the fig10/fig11 network size to one N (0 = figure defaults)")
-		seed  = flag.Int64("seed", 1, "seed")
+		exp     = flag.String("exp", "all", "experiment id (fig5, fig9a, fig9b, fig10, fig11, fig12a, fig12b, table2, bisect, sweep, placement, ablate, all)")
+		quick   = flag.Bool("quick", false, "reduced simulation budget for smoke runs")
+		scale   = flag.Int("scale", 0, "restrict the fig10/fig11 network size to one N (0 = figure defaults)")
+		seed    = flag.Int64("seed", 1, "seed")
+		listen  = flag.String("listen", "", "run as a distributed-sweep coordinator on this address (host:port); cmd/sfworker processes dial it and figure sweeps fan across them")
+		workers = flag.Int("workers", 0, "with -listen: wait for this many workers to connect before running (0 = start immediately, workers may join mid-run)")
 	)
 	flag.Parse()
+
+	// With -listen, the figure sweeps (8/10/11/12) shard their points over
+	// remote sfworker processes; results are bit-identical to local runs,
+	// so the cluster changes wall-clock time only.
+	var cluster *stringfigure.Cluster
+	if *listen != "" {
+		var err error
+		cluster, err = stringfigure.NewCluster(*listen)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sfexp: %v\n", err)
+			os.Exit(1)
+		}
+		defer cluster.Close()
+		experiments.UseCluster(cluster)
+		if *workers > 0 {
+			fmt.Printf("sfexp: coordinator on %s, waiting for %d workers...\n", cluster.Addr(), *workers)
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+			err := cluster.WaitForWorkers(ctx, *workers)
+			cancel()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "sfexp: waiting for workers: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		fmt.Printf("sfexp: cluster ready: %d workers, %d slots\n", cluster.Workers(), cluster.Capacity())
+	}
 
 	sc := experiments.DefaultSimScale()
 	wc := experiments.DefaultWorkloadConfig()
@@ -157,23 +186,28 @@ func main() {
 		return nil
 	})
 	run("sweep", func() error {
-		// Figure 11 through the public front door: a parallel injection-rate
-		// sweep over the Workload/Session API, fanned across GOMAXPROCS.
+		// Figure 11 through the public front door: an injection-rate sweep
+		// over the Workload/Session API, fanned across GOMAXPROCS — or
+		// across the cluster's workers when -listen is up.
 		n := fig11N
-		net, err := stringfigure.New(stringfigure.WithNodes(n), stringfigure.WithSeed(*seed))
+		opts := []stringfigure.Option{stringfigure.WithNodes(n), stringfigure.WithSeed(*seed)}
+		pool := fmt.Sprintf("%d local workers", runtime.GOMAXPROCS(0))
+		if cluster != nil {
+			opts = append(opts, stringfigure.WithCluster(cluster))
+			pool = fmt.Sprintf("%d remote workers", cluster.Workers())
+		}
+		net, err := stringfigure.New(opts...)
 		if err != nil {
 			return err
 		}
 		rates := []float64{0.05, 0.10, 0.15, 0.20, 0.25, 0.30, 0.40, 0.50}
 		cfg := stringfigure.SessionConfig{Warmup: sc.Warmup, Measure: sc.Measure, Seed: *seed}
 		s := stats.NewSeries(
-			fmt.Sprintf("Public-API rate sweep: sf N=%d uniform, %d workers", n, runtime.GOMAXPROCS(0)),
+			fmt.Sprintf("Public-API rate sweep: sf N=%d uniform, %s", n, pool),
 			"rate_pct", "lat_ns", "p90_ns", "thru_fpc", "net_nJ")
 		var sweepErr error
-		for res := range net.Sweep(cfg,
-			stringfigure.RateSweep(stringfigure.SyntheticWorkload{Pattern: "uniform"}, rates), 0) {
-			// Drain the channel even on error: abandoning it would leak
-			// the sweep's emitter goroutine.
+		for res := range net.SweepDistributed(cfg,
+			stringfigure.RateSweep(stringfigure.SyntheticWorkload{Pattern: "uniform"}, rates)) {
 			if res.Err != nil {
 				if sweepErr == nil {
 					sweepErr = res.Err

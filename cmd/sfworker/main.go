@@ -1,0 +1,59 @@
+// Command sfworker is a distributed-sweep worker: it dials a coordinator
+// (a process that called stringfigure.NewCluster — typically cmd/sfexp
+// with -listen), rebuilds each dispatched network locally from its
+// serialized design spec, runs sweep points with the coordinator's exact
+// per-point seeds, and streams the Results back. Results are
+// bit-identical to in-process runs, so fanning Figure 8/10/12
+// regeneration across machines changes wall-clock time only.
+//
+// Usage:
+//
+//	sfworker -connect host:port [-parallel N] [-retry 30s]
+//
+// The worker exits 0 when the coordinator closes the connection (the
+// normal end of service) and non-zero on connect failure.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	stringfigure "repro"
+)
+
+func main() {
+	var (
+		connect  = flag.String("connect", "", "coordinator address (host:port), required")
+		parallel = flag.Int("parallel", 0, "concurrent sweep points (0 = GOMAXPROCS)")
+		retry    = flag.Duration("retry", 15*time.Second, "keep retrying the initial dial for this long (workers may start before the coordinator)")
+	)
+	flag.Parse()
+	if *connect == "" {
+		fmt.Fprintln(os.Stderr, "sfworker: -connect host:port required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	slots := *parallel
+	if slots <= 0 {
+		slots = runtime.GOMAXPROCS(0)
+	}
+	fmt.Printf("sfworker: dialing %s (%d slots)\n", *connect, slots)
+	err := stringfigure.ServeWorker(ctx, *connect, stringfigure.WorkerOptions{
+		Parallel:  slots,
+		DialRetry: *retry,
+	})
+	if err != nil && ctx.Err() == nil {
+		fmt.Fprintf(os.Stderr, "sfworker: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("sfworker: coordinator done, exiting")
+}

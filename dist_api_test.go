@@ -1,0 +1,274 @@
+package stringfigure_test
+
+// Distributed-execution API tests: a loopback cluster with in-process
+// ServeWorker goroutines stands in for a real multi-machine deployment.
+// The headline property under test is the determinism contract —
+// SweepDistributed and SaturationDistributed produce bit-identical
+// Results to the in-process pool for a fixed seed, at any worker count —
+// plus the in-process fallback and the emitter-leak fix.
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"reflect"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	. "repro"
+)
+
+// startCluster brings up a loopback cluster with n embedded workers and
+// blocks until all have joined.
+func startCluster(t *testing.T, n, parallel int) *Cluster {
+	t.Helper()
+	c, err := NewCluster("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{}, n)
+	for i := 0; i < n; i++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			ServeWorker(ctx, c.Addr(), WorkerOptions{Parallel: parallel, DialRetry: 5 * time.Second})
+		}()
+	}
+	t.Cleanup(func() {
+		c.Close()
+		cancel()
+		for i := 0; i < n; i++ {
+			<-done
+		}
+	})
+	wctx, wcancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer wcancel()
+	if err := c.WaitForWorkers(wctx, n); err != nil {
+		t.Fatalf("workers never joined: %v", err)
+	}
+	return c
+}
+
+// distTestPoints mixes synthetic, trace, explicit-seed and in-process-only
+// (FuncWorkload) points, so every dispatch path is exercised.
+func distTestPoints(nodes int) []Point {
+	points := RateSweep(SyntheticWorkload{Pattern: "uniform"},
+		[]float64{0.03, 0.06, 0.09, 0.12, 0.15, 0.18})
+	points = append(points, Point{Workload: TraceWorkload{Workload: "grep"}})
+	points = append(points, Point{Workload: SyntheticWorkload{Pattern: "tornado"}, Rate: 0.08, Seed: 4242})
+	points = append(points, Point{Workload: FuncWorkload{
+		Label: "ring",
+		Dest:  func(src int, rng *rand.Rand) (int, bool) { return (src + 1) % nodes, true },
+	}, Rate: 0.05})
+	return points
+}
+
+var distTestCfg = SessionConfig{Warmup: 300, Measure: 900,
+	Ops: 300, Sockets: 2, Window: 8, MaxCycles: 10_000_000, Seed: 1}
+
+// TestDistributedSweepBitIdentical is the acceptance test: a distributed
+// sweep over loopback workers must reproduce the single-process Sweep
+// bit for bit — same per-point seeds, same float64 metrics — at more
+// than one worker count.
+func TestDistributedSweepBitIdentical(t *testing.T) {
+	const nodes = 32
+	reference, err := New(WithNodes(nodes), WithSeed(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	points := distTestPoints(nodes)
+	want := reference.SweepAll(distTestCfg, points, 0)
+
+	for _, workers := range []int{1, 2} {
+		c := startCluster(t, workers, 2)
+		net, err := New(WithNodes(nodes), WithSeed(6), WithCluster(c))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := net.SweepDistributedAll(distTestCfg, points)
+		if len(got) != len(want) {
+			t.Fatalf("%d workers: %d results, want %d", workers, len(got), len(want))
+		}
+		for i := range want {
+			if want[i].Err != nil || got[i].Err != nil {
+				t.Fatalf("%d workers, point %d errored: local %v, distributed %v",
+					workers, i, want[i].Err, got[i].Err)
+			}
+			if !reflect.DeepEqual(got[i], want[i]) {
+				t.Errorf("%d workers, point %d differs:\nlocal:       %+v\ndistributed: %+v",
+					workers, i, want[i], got[i])
+			}
+		}
+		// The determinism contract rests on the published seed derivation.
+		for i := range got {
+			wantSeed := PointSeed(distTestCfg.Seed, i)
+			if points[i].Seed != 0 {
+				wantSeed = points[i].Seed
+			}
+			if got[i].Seed != wantSeed {
+				t.Errorf("%d workers, point %d seed = %d, want %d", workers, i, got[i].Seed, wantSeed)
+			}
+		}
+	}
+}
+
+func TestDistributedSweepGatedNetwork(t *testing.T) {
+	// Workers rebuild gated networks from the snapshotted alive mask, so a
+	// SetMounted network sweeps identically in both modes.
+	const nodes = 32
+	mask := make([]bool, nodes)
+	for i := range mask {
+		mask[i] = true
+	}
+	mask[3], mask[11], mask[26] = false, false, false
+
+	reference, err := New(WithNodes(nodes), WithSeed(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := reference.SetMounted(mask); err != nil {
+		t.Fatal(err)
+	}
+	points := RateSweep(SyntheticWorkload{Pattern: "uniform"}, []float64{0.04, 0.08, 0.12})
+	want := reference.SweepAll(distTestCfg, points, 0)
+
+	c := startCluster(t, 2, 2)
+	net, err := New(WithNodes(nodes), WithSeed(9), WithCluster(c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.SetMounted(mask); err != nil {
+		t.Fatal(err)
+	}
+	got := net.SweepDistributedAll(distTestCfg, points)
+	for i := range want {
+		if want[i].Err != nil || got[i].Err != nil {
+			t.Fatalf("point %d errored: %v / %v", i, want[i].Err, got[i].Err)
+		}
+		if !reflect.DeepEqual(got[i], want[i]) {
+			t.Errorf("gated point %d differs:\nlocal:       %+v\ndistributed: %+v", i, want[i], got[i])
+		}
+	}
+}
+
+func TestDistributedSaturationMatchesLocal(t *testing.T) {
+	const nodes = 32
+	reference, err := New(WithNodes(nodes), WithSeed(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	scfg := SessionConfig{Warmup: 300, Measure: 900, Seed: 2}
+	sat := SaturationConfig{Step: 0.1}
+	want, err := reference.Saturation(SyntheticWorkload{Pattern: "uniform"}, scfg, sat)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c := startCluster(t, 2, 2)
+	net, err := New(WithNodes(nodes), WithSeed(2), WithCluster(c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := net.SaturationDistributed(SyntheticWorkload{Pattern: "uniform"}, scfg, sat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("distributed saturation = %v, local = %v (must be bit-identical)", got, want)
+	}
+}
+
+func TestDistributedFallsBackWithoutWorkers(t *testing.T) {
+	// A cluster with no workers (and no cluster at all) must degrade to
+	// the in-process pool with identical results.
+	c, err := NewCluster("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	net, err := New(WithNodes(16), WithSeed(3), WithCluster(c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bare, err := New(WithNodes(16), WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	points := RateSweep(SyntheticWorkload{Pattern: "uniform"}, []float64{0.05, 0.1})
+	cfg := SessionConfig{Warmup: 200, Measure: 600, Seed: 1}
+	got := net.SweepDistributedAll(cfg, points)
+	want := bare.SweepAll(cfg, points, 0)
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("workerless fallback differs:\n%+v\n%+v", got, want)
+	}
+}
+
+func TestClusterClosedErrors(t *testing.T) {
+	c, err := NewCluster("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	err = c.WaitForWorkers(context.Background(), 1)
+	if !errors.Is(err, ErrClusterClosed) {
+		t.Errorf("WaitForWorkers after Close = %v, want ErrClusterClosed", err)
+	}
+}
+
+func TestDistributedSweepContextCancel(t *testing.T) {
+	c := startCluster(t, 1, 2)
+	net, err := New(WithNodes(32), WithSeed(1), WithCluster(c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	points := RateSweep(SyntheticWorkload{Pattern: "uniform"},
+		[]float64{0.05, 0.1, 0.15, 0.2})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res := net.SweepDistributedAllContext(ctx,
+		SessionConfig{Warmup: 50_000, Measure: 50_000, Seed: 1}, points)
+	if len(res) != len(points) {
+		t.Fatalf("canceled distributed sweep returned %d results, want %d", len(res), len(points))
+	}
+	for i, r := range res {
+		if !errors.Is(r.Err, context.Canceled) {
+			t.Errorf("point %d err = %v, want context.Canceled", i, r.Err)
+		}
+	}
+}
+
+func TestSweepAbandonAfterCancelDoesNotLeak(t *testing.T) {
+	// The documented emitter-goroutine leak: cancel a sweep, read nothing,
+	// walk away. The buffered stream must let every sweep goroutine exit.
+	net, err := New(WithNodes(32), WithSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := runtime.NumGoroutine()
+	points := RateSweep(SyntheticWorkload{Pattern: "uniform"},
+		[]float64{0.05, 0.1, 0.15, 0.2, 0.25, 0.3})
+	for k := 0; k < 5; k++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		ch := net.SweepContext(ctx, SessionConfig{Warmup: 100_000, Measure: 100_000, Seed: 1}, points, 2)
+		cancel()
+		<-ch // consume one result, then abandon the stream
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		runtime.GC()
+		if runtime.NumGoroutine() <= before+2 {
+			return
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	buf := make([]byte, 1<<16)
+	n := runtime.Stack(buf, true)
+	stacks := string(buf[:n])
+	leaked := strings.Count(stacks, "SweepContext")
+	t.Fatalf("goroutines did not settle: before=%d now=%d (%d stuck in SweepContext)\n%s",
+		before, runtime.NumGoroutine(), leaked, stacks)
+}

@@ -1,0 +1,181 @@
+package stringfigure
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+
+	"repro/internal/dist"
+)
+
+// SweepDistributed is Sweep fanned over the network's attached cluster
+// (WithCluster): points shard across remote workers, each of which
+// rebuilds this network from its serialized spec and runs the point with
+// the same PointSeed-derived session seed as the in-process pool — so
+// for a fixed base seed the streamed Results are bit-identical to
+// Sweep's, at any worker count. With no cluster attached or no workers
+// connected it falls back to the in-process pool.
+//
+// Points whose workloads cannot be serialized (FuncWorkload and external
+// Workload implementations) run in-process on the coordinator,
+// interleaved with the remote points. Points in flight on a worker that
+// disconnects are requeued onto surviving workers; a point repeatedly
+// lost this way fails with ErrWorkerLost in its Result, and points
+// orphaned by Cluster.Close fail with ErrClusterClosed.
+func (n *Network) SweepDistributed(cfg SessionConfig, points []Point) <-chan Result {
+	return n.SweepDistributedContext(context.Background(), cfg, points)
+}
+
+// SweepDistributedContext is SweepDistributed with cooperative
+// cancellation: on cancel, unfinished points are emitted with Err set to
+// ctx.Err() and remote workers abort their in-flight sessions.
+func (n *Network) SweepDistributedContext(ctx context.Context, cfg SessionConfig, points []Point) <-chan Result {
+	c := n.cluster
+	if c == nil || c.Workers() == 0 {
+		return n.SweepContext(ctx, cfg, points, 0)
+	}
+	out := make(chan Result, len(points))
+	slots := make([]chan Result, len(points))
+	for i := range slots {
+		slots[i] = make(chan Result, 1)
+	}
+	spec := n.spec()
+
+	// Partition: serializable points go remote; the rest stay local.
+	var remoteIdx, localIdx []int
+	var payloads [][]byte
+	for i, p := range points {
+		wp, ok := pointToWire(p)
+		if !ok {
+			localIdx = append(localIdx, i)
+			continue
+		}
+		b, err := encodeWire(wireJob{Spec: spec, Cfg: cfg, Index: i, Point: wp})
+		if err != nil {
+			localIdx = append(localIdx, i)
+			continue
+		}
+		remoteIdx = append(remoteIdx, i)
+		payloads = append(payloads, b)
+	}
+
+	// Local points run in-process, concurrently with the remote stream.
+	go func() {
+		sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+		for _, i := range localIdx {
+			sem <- struct{}{}
+			go func(i int) {
+				defer func() { <-sem }()
+				slots[i] <- n.runPoint(ctx, cfg, points[i], i)
+			}(i)
+		}
+	}()
+
+	// Remote points stream back in completion order; slots reorder them.
+	go func() {
+		local := func(lctx context.Context, id int) ([]byte, error) {
+			i := remoteIdx[id]
+			return encodeWire(resultToWire(n.runPoint(lctx, cfg, points[i], i)))
+		}
+		outcomes, err := c.co.Run(ctx, payloads, local)
+		if err != nil {
+			err = mapClusterErr(err)
+			for _, i := range remoteIdx {
+				slots[i] <- n.errResult(cfg, points[i], i, err)
+			}
+			return
+		}
+		for o := range outcomes {
+			i := remoteIdx[o.ID]
+			slots[i] <- n.outcomeResult(o, cfg, points[i], i)
+		}
+	}()
+
+	// Ordered emitter. out is buffered one slot per point, so the stream
+	// completes even if the consumer abandons it (no goroutine leak).
+	go func() {
+		defer close(out)
+		for i := range points {
+			out <- <-slots[i]
+		}
+	}()
+	return out
+}
+
+// SweepDistributedAll runs SweepDistributed and collects the streamed
+// results into a slice indexed like points.
+func (n *Network) SweepDistributedAll(cfg SessionConfig, points []Point) []Result {
+	return n.SweepDistributedAllContext(context.Background(), cfg, points)
+}
+
+// SweepDistributedAllContext is SweepDistributedAll with cooperative
+// cancellation.
+func (n *Network) SweepDistributedAllContext(ctx context.Context, cfg SessionConfig, points []Point) []Result {
+	results := make([]Result, 0, len(points))
+	for r := range n.SweepDistributedContext(ctx, cfg, points) {
+		results = append(results, r)
+	}
+	return results
+}
+
+// SaturationDistributed is Saturation with its candidate-rate waves
+// fanned over the attached cluster instead of the in-process pool. Wave
+// width defaults to the cluster's total slot capacity (at least
+// GOMAXPROCS); because every candidate rate derives its seed from its
+// global rate index, the reported saturation rate is bit-identical to
+// Saturation's for a fixed seed regardless of wave width, worker count
+// or membership changes. With no cluster or no workers it degrades to
+// the in-process search.
+func (n *Network) SaturationDistributed(w Workload, cfg SessionConfig, sc SaturationConfig) (float64, error) {
+	return n.SaturationDistributedContext(context.Background(), w, cfg, sc)
+}
+
+// SaturationDistributedContext is SaturationDistributed with cooperative
+// cancellation.
+func (n *Network) SaturationDistributedContext(ctx context.Context, w Workload, cfg SessionConfig, sc SaturationConfig) (float64, error) {
+	if sc.Workers <= 0 {
+		if c := n.cluster; c != nil {
+			if cap := c.Capacity(); cap > runtime.GOMAXPROCS(0) {
+				sc.Workers = cap
+			}
+		}
+	}
+	return n.saturationSearch(ctx, w, cfg, sc,
+		func(ctx context.Context, cfg SessionConfig, points []Point) []Result {
+			return n.SweepDistributedAllContext(ctx, cfg, points)
+		})
+}
+
+// errResult shapes a point's failure Result exactly like the in-process
+// pool does (identity fields filled, per-point seed derived).
+func (n *Network) errResult(cfg SessionConfig, p Point, i int, err error) Result {
+	res := Result{Rate: p.Rate, Seed: pointSeedOf(cfg, p, i), Err: err}
+	if p.Workload != nil {
+		res.Workload = p.Workload.Name()
+	}
+	return res
+}
+
+// outcomeResult converts one transport outcome into the point's Result.
+func (n *Network) outcomeResult(o dist.Outcome, cfg SessionConfig, p Point, i int) Result {
+	if o.Err != nil {
+		return n.errResult(cfg, p, i, mapClusterErr(o.Err))
+	}
+	var wr wireResult
+	if err := decodeWire(o.Payload, &wr); err != nil {
+		return n.errResult(cfg, p, i, fmt.Errorf("stringfigure: decode remote result: %w", err))
+	}
+	return wr.result()
+}
+
+// mapClusterErr lifts transport sentinels into the public error surface.
+func mapClusterErr(err error) error {
+	switch {
+	case errors.Is(err, dist.ErrWorkerLost):
+		return fmt.Errorf("%w: %v", ErrWorkerLost, err)
+	case errors.Is(err, dist.ErrClosed):
+		return fmt.Errorf("%w: %v", ErrClusterClosed, err)
+	}
+	return err
+}

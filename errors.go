@@ -30,4 +30,16 @@ var (
 	// only the String Figure family carries the shortcut wires and routing
 	// tables that make power gating safe.
 	ErrNotReconfigurable = errors.New("stringfigure: design does not support reconfiguration")
+
+	// ErrWorkerLost reports a distributed sweep point abandoned after
+	// repeated worker losses: the point was requeued onto surviving
+	// workers each time its worker disconnected, and exhausted its
+	// dispatch budget. It appears in the point's Result.Err; the rest of
+	// the sweep is unaffected.
+	ErrWorkerLost = errors.New("stringfigure: distributed worker lost")
+
+	// ErrClusterClosed reports an operation against a closed Cluster:
+	// waiting for workers after Close, or sweep points orphaned when the
+	// cluster shut down mid-run.
+	ErrClusterClosed = errors.New("stringfigure: cluster closed")
 )

@@ -1,0 +1,57 @@
+package dist
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// maxFrame bounds one wire frame (header + gob body). Sweep payloads are
+// a few KB; the cap only guards against a corrupted length prefix.
+const maxFrame = 64 << 20
+
+// writeFrame encodes f as one length-prefixed gob message and writes it
+// with a single Write call, so a frame is never torn by a concurrent
+// writer that forgot the connection mutex (callers still serialize writes
+// — TCP gives no atomicity guarantee — but a single call keeps the
+// failure mode detectable instead of silently interleaving).
+func writeFrame(w io.Writer, f *frame) error {
+	var buf bytes.Buffer
+	buf.Write([]byte{0, 0, 0, 0}) // length placeholder
+	if err := gob.NewEncoder(&buf).Encode(f); err != nil {
+		return fmt.Errorf("dist: encode frame: %w", err)
+	}
+	body := buf.Bytes()
+	n := len(body) - 4
+	if n > maxFrame {
+		return fmt.Errorf("dist: frame of %d bytes exceeds %d-byte cap", n, maxFrame)
+	}
+	binary.BigEndian.PutUint32(body[:4], uint32(n))
+	_, err := w.Write(body)
+	return err
+}
+
+// readFrame reads one length-prefixed gob frame. Each frame is decoded by
+// a fresh gob decoder, so frames are self-contained and a reconnecting
+// peer never depends on stream state.
+func readFrame(r io.Reader) (*frame, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n == 0 || n > maxFrame {
+		return nil, fmt.Errorf("dist: bad frame length %d", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, err
+	}
+	var f frame
+	if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&f); err != nil {
+		return nil, fmt.Errorf("dist: decode frame: %w", err)
+	}
+	return &f, nil
+}

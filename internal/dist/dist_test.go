@@ -1,0 +1,506 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"reflect"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// testCfg shrinks the heartbeat clock so loss detection is fast in tests.
+func testCfg() Config {
+	return Config{HeartbeatInterval: 50 * time.Millisecond, HeartbeatTimeout: time.Second}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	frames := []*frame{
+		{Type: msgHello, Capacity: 4},
+		{Type: msgJob, Run: 3, ID: 17, Payload: []byte("payload bytes")},
+		{Type: msgResult, Run: 3, ID: 17, Payload: []byte{0, 1, 2}, Err: "boom"},
+		{Type: msgHeartbeat},
+		{Type: msgCancel, Run: 9},
+	}
+	var buf bytes.Buffer
+	for _, f := range frames {
+		if err := writeFrame(&buf, f); err != nil {
+			t.Fatalf("write %+v: %v", f, err)
+		}
+	}
+	for _, want := range frames {
+		got, err := readFrame(&buf)
+		if err != nil {
+			t.Fatalf("read: %v", err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("frame round-trip: got %+v, want %+v", got, want)
+		}
+	}
+}
+
+func TestReadFrameRejectsBadLength(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write([]byte{0xff, 0xff, 0xff, 0xff})
+	if _, err := readFrame(&buf); err == nil {
+		t.Fatal("oversized frame length accepted")
+	}
+}
+
+// startWorker serves a RunFunc against the coordinator over loopback and
+// returns a stop function.
+func startWorker(t *testing.T, c *Coordinator, capacity int, run RunFunc) (stop func()) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	conn, err := Dial(ctx, c.Addr(), time.Second)
+	if err != nil {
+		cancel()
+		t.Fatalf("dial: %v", err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		Serve(ctx, conn, capacity, run, testCfg())
+	}()
+	return func() {
+		cancel()
+		<-done
+	}
+}
+
+func echoUpper(ctx context.Context, payload []byte) ([]byte, error) {
+	return bytes.ToUpper(payload), nil
+}
+
+func collect(t *testing.T, out <-chan Outcome, n int) []Outcome {
+	t.Helper()
+	res := make([]Outcome, 0, n)
+	timeout := time.After(30 * time.Second)
+	for len(res) < n {
+		select {
+		case o, ok := <-out:
+			if !ok {
+				t.Fatalf("stream closed after %d of %d outcomes", len(res), n)
+			}
+			res = append(res, o)
+		case <-timeout:
+			t.Fatalf("timed out after %d of %d outcomes", len(res), n)
+		}
+	}
+	if o, ok := <-out; ok {
+		t.Fatalf("extra outcome after the last task: %+v", o)
+	}
+	sort.Slice(res, func(i, j int) bool { return res[i].ID < res[j].ID })
+	return res
+}
+
+func TestRunTwoWorkers(t *testing.T) {
+	c, err := Listen("127.0.0.1:0", testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	stop1 := startWorker(t, c, 2, echoUpper)
+	defer stop1()
+	stop2 := startWorker(t, c, 2, echoUpper)
+	defer stop2()
+	if err := c.WaitWorkers(context.Background(), 2); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Capacity(); got != 4 {
+		t.Errorf("Capacity = %d, want 4", got)
+	}
+
+	tasks := make([][]byte, 20)
+	for i := range tasks {
+		tasks[i] = []byte(fmt.Sprintf("task-%02d", i))
+	}
+	out, err := c.Run(context.Background(), tasks, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, o := range collect(t, out, len(tasks)) {
+		if o.Err != nil {
+			t.Fatalf("task %d: %v", i, o.Err)
+		}
+		want := strings.ToUpper(string(tasks[i]))
+		if string(o.Payload) != want {
+			t.Errorf("task %d payload = %q, want %q", i, o.Payload, want)
+		}
+	}
+}
+
+func TestRunEmptyBatch(t *testing.T) {
+	c, err := Listen("127.0.0.1:0", testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	out, err := c.Run(context.Background(), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := <-out; ok {
+		t.Fatal("empty batch produced an outcome")
+	}
+}
+
+func TestWorkerErrorPropagates(t *testing.T) {
+	c, err := Listen("127.0.0.1:0", testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	stop := startWorker(t, c, 1, func(ctx context.Context, p []byte) ([]byte, error) {
+		if string(p) == "bad" {
+			return nil, errors.New("task exploded")
+		}
+		return p, nil
+	})
+	defer stop()
+	if err := c.WaitWorkers(context.Background(), 1); err != nil {
+		t.Fatal(err)
+	}
+	out, err := c.Run(context.Background(), [][]byte{[]byte("ok"), []byte("bad")}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := collect(t, out, 2)
+	if res[0].Err != nil || string(res[0].Payload) != "ok" {
+		t.Errorf("good task: %+v", res[0])
+	}
+	if res[1].Err == nil || !strings.Contains(res[1].Err.Error(), "task exploded") {
+		t.Errorf("bad task error not propagated: %+v", res[1])
+	}
+}
+
+func TestWorkerLossRequeues(t *testing.T) {
+	c, err := Listen("127.0.0.1:0", testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// Worker A runs alone and self-destructs on the poison task (the first
+	// task dispatched); every task, poison included, must then complete
+	// through worker B, which joins only after A is gone.
+	ctxA, cancelA := context.WithCancel(context.Background())
+	defer cancelA()
+	connA, err := Dial(ctxA, c.Addr(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var poisoned atomic.Bool
+	doneA := make(chan struct{})
+	go func() {
+		defer close(doneA)
+		Serve(ctxA, connA, 1, func(ctx context.Context, p []byte) ([]byte, error) {
+			if string(p) == "poison" && poisoned.CompareAndSwap(false, true) {
+				connA.Close() // simulate a crash mid-task
+				<-ctx.Done()
+				return nil, ctx.Err()
+			}
+			return append([]byte("A:"), p...), nil
+		}, testCfg())
+	}()
+	if err := c.WaitWorkers(context.Background(), 1); err != nil {
+		t.Fatal(err)
+	}
+
+	tasks := [][]byte{[]byte("poison"), []byte("t1"), []byte("t2"), []byte("t3")}
+	out, err := c.Run(context.Background(), tasks, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait for A's crash to be noticed before B joins.
+	deadline := time.Now().Add(10 * time.Second)
+	for c.Workers() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("worker A's loss never detected")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	stopB := startWorker(t, c, 1, func(ctx context.Context, p []byte) ([]byte, error) {
+		return append([]byte("B:"), p...), nil
+	})
+	defer stopB()
+
+	res := collect(t, out, len(tasks))
+	if res[0].Err != nil {
+		t.Fatalf("poison task failed instead of requeueing: %v", res[0].Err)
+	}
+	if string(res[0].Payload) != "B:poison" {
+		t.Errorf("poison task payload = %q, want completion by worker B", res[0].Payload)
+	}
+	for _, o := range res[1:] {
+		if o.Err != nil {
+			t.Errorf("task %d: %v", o.ID, o.Err)
+		}
+	}
+	if !poisoned.Load() {
+		t.Error("worker A never saw the poison task")
+	}
+}
+
+func TestTotalLossFallsBackToLocal(t *testing.T) {
+	cfg := testCfg()
+	c, err := Listen("127.0.0.1:0", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	// One worker that dies on its first task; the rest of the batch must
+	// complete through the local runner.
+	ctxA, cancelA := context.WithCancel(context.Background())
+	defer cancelA()
+	connA, err := Dial(ctxA, c.Addr(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doneA := make(chan struct{})
+	go func() {
+		defer close(doneA)
+		Serve(ctxA, connA, 1, func(ctx context.Context, p []byte) ([]byte, error) {
+			connA.Close()
+			<-ctx.Done()
+			return nil, ctx.Err()
+		}, cfg)
+	}()
+	if err := c.WaitWorkers(context.Background(), 1); err != nil {
+		t.Fatal(err)
+	}
+
+	tasks := [][]byte{[]byte("a"), []byte("b"), []byte("c")}
+	local := func(ctx context.Context, id int) ([]byte, error) {
+		return append([]byte("local:"), tasks[id]...), nil
+	}
+	out, err := c.Run(context.Background(), tasks, local)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range collect(t, out, len(tasks)) {
+		if o.Err != nil {
+			t.Fatalf("task %d: %v", o.ID, o.Err)
+		}
+		want := "local:" + string(tasks[o.ID])
+		if string(o.Payload) != want {
+			t.Errorf("task %d payload = %q, want %q", o.ID, o.Payload, want)
+		}
+	}
+}
+
+func TestRunContextCancel(t *testing.T) {
+	c, err := Listen("127.0.0.1:0", testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	block := make(chan struct{})
+	stop := startWorker(t, c, 1, func(ctx context.Context, p []byte) ([]byte, error) {
+		select {
+		case <-block:
+			return p, nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	})
+	defer stop()
+	defer close(block)
+	if err := c.WaitWorkers(context.Background(), 1); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	out, err := c.Run(ctx, [][]byte{[]byte("x"), []byte("y")}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	for _, o := range collect(t, out, 2) {
+		if !errors.Is(o.Err, context.Canceled) {
+			t.Errorf("task %d err = %v, want context.Canceled", o.ID, o.Err)
+		}
+	}
+}
+
+func TestCloseFailsActiveRuns(t *testing.T) {
+	c, err := Listen("127.0.0.1:0", testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	block := make(chan struct{})
+	defer close(block)
+	stop := startWorker(t, c, 1, func(ctx context.Context, p []byte) ([]byte, error) {
+		select {
+		case <-block:
+			return p, nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	})
+	defer stop()
+	if err := c.WaitWorkers(context.Background(), 1); err != nil {
+		t.Fatal(err)
+	}
+	out, err := c.Run(context.Background(), [][]byte{[]byte("x")}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	o := <-out
+	if !errors.Is(o.Err, ErrClosed) {
+		t.Errorf("outcome err = %v, want ErrClosed", o.Err)
+	}
+	if _, err := c.Run(context.Background(), [][]byte{[]byte("x")}, nil); !errors.Is(err, ErrClosed) {
+		t.Errorf("Run on closed coordinator err = %v, want ErrClosed", err)
+	}
+	if err := c.WaitWorkers(context.Background(), 1); !errors.Is(err, ErrClosed) {
+		t.Errorf("WaitWorkers on closed coordinator err = %v, want ErrClosed", err)
+	}
+}
+
+func TestLateJoinerPicksUpPendingWork(t *testing.T) {
+	c, err := Listen("127.0.0.1:0", testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	// Start the run with one single-slot worker that blocks on its first
+	// task, then join a second worker: the remaining tasks must drain
+	// through the late joiner.
+	firstBlocked := make(chan struct{})
+	release := make(chan struct{})
+	var first atomic.Bool
+	stop1 := startWorker(t, c, 1, func(ctx context.Context, p []byte) ([]byte, error) {
+		if first.CompareAndSwap(false, true) {
+			close(firstBlocked)
+			select {
+			case <-release:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+		return append([]byte("w1:"), p...), nil
+	})
+	defer stop1()
+	if err := c.WaitWorkers(context.Background(), 1); err != nil {
+		t.Fatal(err)
+	}
+	tasks := [][]byte{[]byte("a"), []byte("b"), []byte("c"), []byte("d")}
+	out, err := c.Run(context.Background(), tasks, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-firstBlocked
+	stop2 := startWorker(t, c, 2, func(ctx context.Context, p []byte) ([]byte, error) {
+		return append([]byte("w2:"), p...), nil
+	})
+	defer stop2()
+	// Unblock worker 1 once worker 2 has had a chance to drain the rest.
+	go func() {
+		c.WaitWorkers(context.Background(), 2)
+		time.Sleep(100 * time.Millisecond)
+		close(release)
+	}()
+	fromW2 := 0
+	for _, o := range collect(t, out, len(tasks)) {
+		if o.Err != nil {
+			t.Fatalf("task %d: %v", o.ID, o.Err)
+		}
+		if strings.HasPrefix(string(o.Payload), "w2:") {
+			fromW2++
+		}
+	}
+	if fromW2 == 0 {
+		t.Error("late-joining worker processed no tasks")
+	}
+}
+
+func TestServeDistinguishesShutdownFromLoss(t *testing.T) {
+	// Orderly Close sends a goodbye: Serve returns nil.
+	c, err := Listen("127.0.0.1:0", testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := Dial(context.Background(), c.Addr(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	served := make(chan error, 1)
+	go func() { served <- Serve(context.Background(), conn, 1, echoUpper, testCfg()) }()
+	if err := c.WaitWorkers(context.Background(), 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-served; err != nil {
+		t.Errorf("Serve after orderly Close = %v, want nil", err)
+	}
+
+	// A coordinator that vanishes without a goodbye (crash, partition) is
+	// an error, so supervisors restart the worker.
+	fake, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	accepted := make(chan net.Conn, 1)
+	go func() {
+		cn, err := fake.Accept()
+		if err == nil {
+			accepted <- cn
+		}
+	}()
+	conn2, err := Dial(context.Background(), fake.Addr().String(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { served <- Serve(context.Background(), conn2, 1, echoUpper, testCfg()) }()
+	cn := <-accepted
+	if _, err := readFrame(cn); err != nil { // consume the hello
+		t.Fatal(err)
+	}
+	cn.Close() // crash: no goodbye
+	fake.Close()
+	if err := <-served; err == nil || !strings.Contains(err.Error(), "lost") {
+		t.Errorf("Serve after silent disconnect = %v, want connection-lost error", err)
+	}
+}
+
+func TestDialRetryCoversLateCoordinator(t *testing.T) {
+	// Reserve an address, start dialing before anything listens, then
+	// bring the listener up: Dial must succeed within its retry budget.
+	probe, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := probe.Addr().String()
+	probe.Close()
+
+	type dialRes struct {
+		conn net.Conn
+		err  error
+	}
+	got := make(chan dialRes, 1)
+	go func() {
+		conn, err := Dial(context.Background(), addr, 10*time.Second)
+		got <- dialRes{conn, err}
+	}()
+	time.Sleep(300 * time.Millisecond)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Skipf("could not rebind %s: %v", addr, err)
+	}
+	defer ln.Close()
+	res := <-got
+	if res.err != nil {
+		t.Fatalf("Dial with retry failed: %v", res.err)
+	}
+	res.conn.Close()
+}

@@ -1,0 +1,91 @@
+// Package dist implements the transport behind distributed sweep
+// execution: a TCP coordinator that shards opaque task payloads over
+// remote workers and streams their outcomes back, with heartbeats and
+// requeue-on-worker-loss fault tolerance.
+//
+// The package is deliberately payload-agnostic — tasks and results travel
+// as []byte blobs produced by the embedding layer (the root stringfigure
+// package encodes sweep points and session results), so the coordinator
+// and worker stay a pure distribution engine with no knowledge of
+// simulations. Every message rides in one length-prefixed gob frame; see
+// codec.go for the wire format.
+package dist
+
+import (
+	"errors"
+	"time"
+)
+
+// msgType discriminates the wire messages of the coordinator/worker
+// protocol.
+type msgType uint8
+
+const (
+	// msgHello is the worker's first message after dialing: it announces
+	// the worker's slot capacity (how many tasks it runs concurrently).
+	msgHello msgType = iota + 1
+	// msgJob carries one task payload from coordinator to worker.
+	msgJob
+	// msgResult carries one task outcome from worker to coordinator.
+	msgResult
+	// msgHeartbeat is the keepalive both sides send while idle; a peer
+	// that stays silent past Config.HeartbeatTimeout is declared lost.
+	msgHeartbeat
+	// msgCancel tells the worker to abort every in-flight task of one run
+	// (the coordinator's context was canceled).
+	msgCancel
+	// msgGoodbye announces an orderly coordinator shutdown, letting
+	// workers distinguish it (clean exit) from a crash or partition
+	// (error, so supervisors restart them).
+	msgGoodbye
+)
+
+// frame is the single envelope every wire message travels in. Fields are
+// a union over the message types: Run/ID identify a task (msgJob,
+// msgResult, msgCancel), Capacity rides on msgHello, Payload carries the
+// task or result blob, and Err transfers a worker-side execution error as
+// text (typed errors do not survive the wire).
+type frame struct {
+	Type     msgType
+	Run      int
+	ID       int
+	Capacity int
+	Payload  []byte
+	Err      string
+}
+
+// Config tunes the transport. The zero value uses production defaults;
+// tests shrink the intervals.
+type Config struct {
+	// HeartbeatInterval is how often each side sends a keepalive
+	// (default 2s).
+	HeartbeatInterval time.Duration
+	// HeartbeatTimeout is how long a silent peer stays trusted before it
+	// is declared lost (default 4x the interval).
+	HeartbeatTimeout time.Duration
+	// MaxRequeues bounds how often one task is redistributed after
+	// worker losses before it fails with ErrWorkerLost (default 3).
+	MaxRequeues int
+}
+
+func (c *Config) fill() {
+	if c.HeartbeatInterval <= 0 {
+		c.HeartbeatInterval = 2 * time.Second
+	}
+	if c.HeartbeatTimeout <= 0 {
+		c.HeartbeatTimeout = 4 * c.HeartbeatInterval
+	}
+	if c.MaxRequeues <= 0 {
+		c.MaxRequeues = 3
+	}
+}
+
+// Sentinel errors of the transport layer. The root package wraps them in
+// its public ErrWorkerLost/ErrClusterClosed sentinels.
+var (
+	// ErrClosed reports an operation on a closed coordinator.
+	ErrClosed = errors.New("dist: coordinator closed")
+	// ErrWorkerLost reports a task abandoned after exhausting its requeue
+	// budget across repeated worker losses.
+	ErrWorkerLost = errors.New("dist: worker lost")
+)

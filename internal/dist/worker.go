@@ -1,0 +1,144 @@
+package dist
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// RunFunc executes one task payload on the worker and returns the result
+// payload. The context is canceled when the coordinator cancels the
+// task's run or the worker shuts down.
+type RunFunc func(ctx context.Context, payload []byte) ([]byte, error)
+
+// Dial connects to a coordinator, retrying for up to the retry budget
+// (covering the common bring-up order where workers launch before the
+// coordinator listens). retry <= 0 tries exactly once.
+func Dial(ctx context.Context, addr string, retry time.Duration) (net.Conn, error) {
+	var d net.Dialer
+	deadline := time.Now().Add(retry)
+	for {
+		conn, err := d.DialContext(ctx, "tcp", addr)
+		if err == nil {
+			return conn, nil
+		}
+		if retry <= 0 || time.Now().After(deadline) {
+			return nil, err
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(250 * time.Millisecond):
+		}
+	}
+}
+
+// Serve runs the worker side of the protocol on an established
+// connection: announce capacity, then execute up to capacity jobs
+// concurrently until the coordinator announces shutdown (returns nil —
+// the normal end of service), ctx is canceled (returns ctx.Err()), or
+// the connection is lost without a goodbye (returns an error, so
+// supervisors can restart the worker). The connection is closed on
+// return.
+func Serve(parent context.Context, conn net.Conn, capacity int, run RunFunc, cfg Config) error {
+	cfg.fill()
+	if capacity < 1 {
+		capacity = 1
+	}
+	defer conn.Close()
+
+	var wmu sync.Mutex
+	send := func(f *frame) error {
+		wmu.Lock()
+		defer wmu.Unlock()
+		conn.SetWriteDeadline(time.Now().Add(cfg.HeartbeatTimeout))
+		return writeFrame(conn, f)
+	}
+	if err := send(&frame{Type: msgHello, Capacity: capacity}); err != nil {
+		return err
+	}
+
+	ctx, cancel := context.WithCancel(parent)
+	defer cancel()
+	go func() {
+		<-ctx.Done()
+		conn.Close() // unblock the read loop
+	}()
+	go func() {
+		t := time.NewTicker(cfg.HeartbeatInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				if send(&frame{Type: msgHeartbeat}) != nil {
+					return
+				}
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
+	// In-flight jobs, keyed by {run, task} so a run-level cancel can abort
+	// exactly its own jobs.
+	var jmu sync.Mutex
+	cancels := make(map[[2]int]context.CancelFunc)
+	var jobs sync.WaitGroup
+
+	for {
+		conn.SetReadDeadline(time.Now().Add(cfg.HeartbeatTimeout))
+		f, err := readFrame(conn)
+		if err != nil {
+			cancel()
+			jobs.Wait()
+			if parent.Err() != nil {
+				return parent.Err() // the caller ended service
+			}
+			// No goodbye arrived: the coordinator crashed, timed out or the
+			// network partitioned. Surface it so supervisors can restart.
+			return fmt.Errorf("dist: connection to coordinator lost: %w", err)
+		}
+		switch f.Type {
+		case msgGoodbye:
+			// Orderly coordinator shutdown: the normal end of service.
+			cancel()
+			jobs.Wait()
+			return nil
+		case msgHeartbeat:
+			// Liveness is the read itself.
+		case msgCancel:
+			jmu.Lock()
+			for key, jcancel := range cancels {
+				if key[0] == f.Run {
+					jcancel()
+				}
+			}
+			jmu.Unlock()
+		case msgJob:
+			key := [2]int{f.Run, f.ID}
+			jctx, jcancel := context.WithCancel(ctx)
+			jmu.Lock()
+			cancels[key] = jcancel
+			jmu.Unlock()
+			jobs.Add(1)
+			go func(f *frame) {
+				defer jobs.Done()
+				payload, err := run(jctx, f.Payload)
+				jmu.Lock()
+				delete(cancels, key)
+				jmu.Unlock()
+				jcancel()
+				res := &frame{Type: msgResult, Run: f.Run, ID: f.ID, Payload: payload}
+				if err != nil {
+					res.Err = err.Error()
+					res.Payload = nil
+				}
+				if send(res) != nil {
+					conn.Close() // result lost; force reconnect semantics
+				}
+			}(f)
+		}
+	}
+}

@@ -26,12 +26,10 @@ func QuickSimScale() SimScale {
 	return SimScale{Warmup: 600, Measure: 1500, Step: 0.10}
 }
 
-// buildNet deploys one named design through the public front door.
+// buildNet deploys one named design through the public front door,
+// attached to the harness cluster when one is configured (UseCluster).
 func buildNet(kind string, n int, seed int64) (*stringfigure.Network, error) {
-	return stringfigure.New(
-		stringfigure.WithDesign(kind),
-		stringfigure.WithNodes(n),
-		stringfigure.WithSeed(seed))
+	return stringfigure.New(netOptions(kind, n, seed)...)
 }
 
 // Fig10Scales are the x-axis points of Figure 10.
@@ -68,7 +66,11 @@ func Fig10(scales []int, patterns []string, sc SimScale, seed int64) ([]*stats.S
 				if err != nil {
 					return nil, err
 				}
-				sat, err := net.Saturation(
+				// SaturationDistributed fans candidate waves across the
+				// harness cluster when workers are connected and is the
+				// plain in-process search otherwise — bit-identical either
+				// way.
+				sat, err := net.SaturationDistributed(
 					stringfigure.SyntheticWorkload{Pattern: pname},
 					stringfigure.SessionConfig{Warmup: sc.Warmup, Measure: sc.Measure, Seed: seed},
 					stringfigure.SaturationConfig{Step: sc.Step})
@@ -109,7 +111,7 @@ func Fig11(n int, pattern string, rates []float64, sc SimScale, seed int64) (*st
 			return nil, err
 		}
 		col := make([]float64, len(rates))
-		for i, res := range net.SweepAll(cfg, points, 0) {
+		for i, res := range net.SweepDistributedAll(cfg, points) {
 			if res.Err != nil {
 				return nil, res.Err
 			}

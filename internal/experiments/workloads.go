@@ -73,6 +73,12 @@ var Fig12Designs = []string{"dm", "odm", "afb", "s2", "sf"}
 // Fig12 reproduces Figure 12: per-workload system throughput normalized to
 // DM (a), and dynamic memory energy normalized to AFB (b). It returns the
 // two series plus the geomean rows the paper quotes.
+//
+// Each design's workload grid runs as one sweep through the distributed
+// front door, so with a cluster configured (UseCluster) the Table IV
+// workloads fan across machines. Every cell pins its session seed to
+// wc.Seed via the Point.Seed override — the exact session RunWorkload
+// executes — so the figure's numbers are independent of the fan-out.
 func Fig12(workloads []string, wc WorkloadConfig) (throughput, energy *stats.Series, err error) {
 	if len(workloads) == 0 {
 		workloads = trace.WorkloadNames
@@ -85,16 +91,73 @@ func Fig12(workloads []string, wc WorkloadConfig) (throughput, energy *stats.Ser
 		ipc float64
 		pj  float64
 	}
+	threads := wc.Threads
+	if threads < 1 {
+		threads = 1
+	}
+	cfg := stringfigure.SessionConfig{
+		Ops:       wc.Ops,
+		Sockets:   wc.Sockets,
+		Window:    wc.Window,
+		Threads:   threads,
+		MaxCycles: wc.MaxCycles,
+		Seed:      wc.Seed,
+	}
+	points := make([]stringfigure.Point, len(workloads))
+	for i, wl := range workloads {
+		points[i] = stringfigure.Point{
+			Workload: stringfigure.TraceWorkload{Workload: wl},
+			Seed:     wc.Seed,
+		}
+	}
+	cells := make(map[string]map[string]cell, len(Fig12Designs))
+	for _, kind := range Fig12Designs {
+		net, err := buildNet(kind, wc.N, wc.Seed)
+		if err != nil {
+			return nil, nil, err
+		}
+		var results []stringfigure.Result
+		if wc.Seed != 0 {
+			results = net.SweepDistributedAll(cfg, points)
+		} else if base := cfg.Seed - stringfigure.PointSeed(0, 0); stringfigure.PointSeed(base, 0) == cfg.Seed {
+			// A zero seed cannot ride the Point.Seed override (0 means
+			// "derive"); pin each cell's session seed through the PointSeed
+			// inverse instead, one point per sweep. The derivation is affine
+			// in the base seed, so base = want - PointSeed(0, 0) inverts it;
+			// the guard proves it against the exported function rather than
+			// assuming its constants.
+			baseCfg := cfg
+			baseCfg.Seed = base
+			for _, p := range points {
+				p.Seed = 0
+				results = append(results, net.SweepDistributedAll(baseCfg, []stringfigure.Point{p})...)
+			}
+		} else {
+			// PointSeed is no longer invertible from here: run the cells as
+			// plain sessions, exactly as RunWorkload would.
+			for _, wl := range workloads {
+				r, err := RunWorkload(kind, wl, wc)
+				if err != nil {
+					return nil, nil, err
+				}
+				results = append(results, r)
+			}
+		}
+		m := make(map[string]cell, len(workloads))
+		for i, r := range results {
+			if r.Err != nil {
+				return nil, nil, r.Err
+			}
+			m[workloads[i]] = cell{ipc: r.IPC, pj: r.TotalEnergyPJ}
+		}
+		cells[kind] = m
+	}
 	geoT := map[string][]float64{}
 	geoE := map[string][]float64{}
 	for _, wl := range workloads {
 		results := map[string]cell{}
 		for _, kind := range Fig12Designs {
-			r, err := RunWorkload(kind, wl, wc)
-			if err != nil {
-				return nil, nil, err
-			}
-			results[kind] = cell{ipc: r.IPC, pj: r.TotalEnergyPJ}
+			results[kind] = cells[kind][wl]
 		}
 		base := results["dm"].ipc
 		tRow := make([]float64, 0, 4)

@@ -34,6 +34,10 @@ type Options struct {
 	// S2-ideal style network without elastic down-scaling support; sf
 	// design only).
 	NoShortcuts bool
+	// Cluster attaches a distributed-execution cluster: SweepDistributed
+	// and SaturationDistributed shard their points over its workers, and
+	// fall back to the in-process pool while it has none.
+	Cluster *Cluster
 }
 
 // Option configures New.
@@ -62,6 +66,12 @@ func Unidirectional() Option { return func(o *Options) { o.Unidirectional = true
 // NoShortcuts disables the pre-provisioned shortcut wires (S2-ideal style,
 // no elastic down-scaling support).
 func NoShortcuts() Option { return func(o *Options) { o.NoShortcuts = true } }
+
+// WithCluster attaches a distributed-execution cluster (NewCluster) to
+// the network: SweepDistributed and SaturationDistributed shard points
+// over its workers, falling back to the in-process pool while no workers
+// are connected. Many networks may share one cluster.
+func WithCluster(c *Cluster) Option { return func(o *Options) { o.Cluster = c } }
 
 // Designs lists the supported design names in Figure 8 order.
 func Designs() []string { return append([]string(nil), design.Names...) }
@@ -99,5 +109,7 @@ func NewFromOptions(o Options) (*Network, error) {
 		}
 		return nil, err
 	}
-	return newNetwork(d), nil
+	net := newNetwork(d)
+	net.cluster = o.Cluster
+	return net, nil
 }

@@ -63,6 +63,18 @@ func (n *Network) Saturation(w Workload, cfg SessionConfig, sc SaturationConfig)
 // rate index. Both are invariant across worker counts, so a fixed seed
 // yields bit-identical saturation rates at any parallelism.
 func (n *Network) SaturationContext(ctx context.Context, w Workload, cfg SessionConfig, sc SaturationConfig) (float64, error) {
+	return n.saturationSearch(ctx, w, cfg, sc,
+		func(ctx context.Context, cfg SessionConfig, points []Point) []Result {
+			return n.SweepAllContext(ctx, cfg, points, sc.Workers)
+		})
+}
+
+// saturationSearch is the engine behind Saturation and
+// SaturationDistributed: a bracketing search whose candidate-rate waves
+// fan out through the supplied sweep function (the in-process pool or a
+// cluster).
+func (n *Network) saturationSearch(ctx context.Context, w Workload, cfg SessionConfig, sc SaturationConfig,
+	sweep func(ctx context.Context, cfg SessionConfig, points []Point) []Result) (float64, error) {
 	sc.fill()
 	cfg.fill()
 	steps := int(sc.MaxRate/sc.Step + 1e-9)
@@ -82,7 +94,7 @@ func (n *Network) SaturationContext(ctx context.Context, w Workload, cfg Session
 		// PointSeed(cfg.Seed, g+j) exactly.
 		wc := cfg
 		wc.Seed = cfg.Seed + int64(g)*1_000_003
-		results := n.SweepAllContext(ctx, wc, RateSweep(w, rates), sc.Workers)
+		results := sweep(ctx, wc, RateSweep(w, rates))
 		for _, res := range results {
 			if res.Err != nil {
 				return 0, res.Err

@@ -31,9 +31,14 @@
 // Saturation searches (Figure 10's metric) fan candidate rates across the
 // same worker pool; see Network.Saturation. A single *Network may run many
 // sessions concurrently; reconfiguration calls (GateOff, GateOn, SetMounted)
-// serialize against in-flight runs. See the examples/ directory for runnable
-// programs and cmd/sfexp for the experiment harness that regenerates the
-// paper's figures.
+// serialize against in-flight runs.
+//
+// Sweeps also run cluster-wide: attach a Cluster (NewCluster, WithCluster)
+// and SweepDistributed/SaturationDistributed shard points over remote
+// sfworker processes (cmd/sfworker, ServeWorker) with bit-identical
+// results — the execution layer behind the paper's thousand-node scales.
+// See the examples/ directory for runnable programs and cmd/sfexp for the
+// experiment harness that regenerates the paper's figures.
 package stringfigure
 
 import (
@@ -56,6 +61,9 @@ type Network struct {
 	// net is the reconfiguration engine, non-nil only for designs built on
 	// a String Figure topology (sf, s2 and their wire variants).
 	net *reconfig.Network
+	// cluster, when attached via WithCluster, backs SweepDistributed and
+	// SaturationDistributed; nil keeps every run in-process.
+	cluster *Cluster
 
 	// mu serializes reconfiguration (write side) against concurrent
 	// sessions and topology queries (read side).

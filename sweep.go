@@ -12,6 +12,13 @@ import (
 type Point struct {
 	Workload Workload
 	Rate     float64
+	// Seed, when nonzero, overrides the derived per-point session seed
+	// (PointSeed of the sweep's base seed and the point index). Explicit
+	// seeds let a sweep fan out runs that must reproduce standalone
+	// sessions exactly — e.g. the Figure 12 workload grid — while keeping
+	// worker-count invariance: the seed is part of the point, not of the
+	// schedule.
+	Seed int64
 }
 
 // RateSweep builds sweep points for one workload across injection rates —
@@ -30,12 +37,16 @@ func RateSweep(w Workload, rates []float64) []Point {
 // deterministically from cfg.Seed and the point index, so results are
 // bit-identical regardless of worker count or scheduling. A point that
 // fails yields a Result whose Err field is set (and whose Workload/Rate
-// still identify the point). Consume the channel to completion (or use
-// SweepAll): abandoning it mid-stream leaks the emitter goroutine.
+// still identify the point). The stream buffers one Result per point, so
+// abandoning it mid-stream wastes no goroutine — the pool always drains
+// and exits on its own.
 //
 // Sessions take the network's read lock, so a sweep runs fully in parallel
 // with itself and with other sweeps; reconfiguration calls issued while a
 // sweep is draining serialize against the in-flight runs.
+//
+// SweepDistributed fans the same points over a cluster of remote workers
+// instead (see WithCluster), with identical results.
 func (n *Network) Sweep(cfg SessionConfig, points []Point, workers int) <-chan Result {
 	return n.SweepContext(context.Background(), cfg, points, workers)
 }
@@ -51,7 +62,10 @@ func (n *Network) SweepContext(ctx context.Context, cfg SessionConfig, points []
 	if workers > len(points) {
 		workers = len(points)
 	}
-	out := make(chan Result)
+	// out is buffered one slot per point: the emitter below can always
+	// finish even if the consumer abandons the stream after cancellation,
+	// so a half-read sweep cannot strand the emitter goroutine.
+	out := make(chan Result, len(points))
 	slots := make([]chan Result, len(points))
 	for i := range slots {
 		slots[i] = make(chan Result, 1)
@@ -63,23 +77,7 @@ func (n *Network) SweepContext(ctx context.Context, cfg SessionConfig, points []
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				p := points[i]
-				pc := cfg
-				pc.Seed = PointSeed(cfg.Seed, i)
-				if p.Rate > 0 {
-					pc.Rate = p.Rate
-				}
-				if p.Workload == nil {
-					slots[i] <- Result{Seed: pc.Seed, Rate: p.Rate,
-						Err: fmt.Errorf("stringfigure: sweep point %d has no workload", i)}
-					continue
-				}
-				res, err := n.NewSession(pc).RunContext(ctx, p.Workload)
-				if err != nil {
-					res = Result{Workload: p.Workload.Name(), Rate: p.Rate,
-						Seed: pc.Seed, Err: err}
-				}
-				slots[i] <- res
+				slots[i] <- n.runPoint(ctx, cfg, points[i], i)
 			}
 		}()
 	}
@@ -91,7 +89,7 @@ func (n *Network) SweepContext(ctx context.Context, cfg SessionConfig, points []
 				// The point never dispatched; emit its cancellation result
 				// directly so the ordered stream stays complete.
 				p := points[i]
-				res := Result{Rate: p.Rate, Seed: PointSeed(cfg.Seed, i), Err: ctx.Err()}
+				res := Result{Rate: p.Rate, Seed: pointSeedOf(cfg, p, i), Err: ctx.Err()}
 				if p.Workload != nil {
 					res.Workload = p.Workload.Name()
 				}
@@ -110,6 +108,37 @@ func (n *Network) SweepContext(ctx context.Context, cfg SessionConfig, points []
 		}
 	}()
 	return out
+}
+
+// runPoint executes one sweep point (global index i) exactly as the
+// in-process pool does: derive the per-point seed, apply the point's
+// rate, run one session. Remote workers (ServeWorker) call the same
+// function, which is what makes distributed sweeps bit-identical to
+// local ones.
+func (n *Network) runPoint(ctx context.Context, cfg SessionConfig, p Point, i int) Result {
+	pc := cfg
+	pc.Seed = pointSeedOf(cfg, p, i)
+	if p.Rate > 0 {
+		pc.Rate = p.Rate
+	}
+	if p.Workload == nil {
+		return Result{Seed: pc.Seed, Rate: p.Rate,
+			Err: fmt.Errorf("stringfigure: sweep point %d has no workload", i)}
+	}
+	res, err := n.NewSession(pc).RunContext(ctx, p.Workload)
+	if err != nil {
+		res = Result{Workload: p.Workload.Name(), Rate: p.Rate, Seed: pc.Seed, Err: err}
+	}
+	return res
+}
+
+// pointSeedOf is the session seed point p draws at index i: its explicit
+// override if set, the PointSeed derivation otherwise.
+func pointSeedOf(cfg SessionConfig, p Point, i int) int64 {
+	if p.Seed != 0 {
+		return p.Seed
+	}
+	return PointSeed(cfg.Seed, i)
 }
 
 // SweepAll runs Sweep and collects the streamed results into a slice,

@@ -1,0 +1,191 @@
+package stringfigure
+
+import (
+	"bytes"
+	"context"
+	"encoding/gob"
+	"errors"
+	"fmt"
+)
+
+// This file is the payload codec of distributed sweep execution: the
+// serializable forms of a network spec, a sweep point and a session
+// result that travel between the coordinator (Network.SweepDistributed)
+// and remote workers (ServeWorker / cmd/sfworker) inside internal/dist
+// frames. Everything is plain gob of exported fields, so local and
+// remote runs see bit-identical float64 values.
+
+// networkSpec is everything a worker needs to rebuild a Network: the
+// deterministic design-build inputs plus the alive mask of the
+// coordinator's network at sweep time. Design builds are pure functions
+// of the spec (equal specs build identical designs), so rebuilding
+// remotely reproduces the coordinator's topology exactly; a gated
+// network is reproduced via SetMounted with the snapshotted mask.
+type networkSpec struct {
+	Design         string
+	Nodes          int
+	Ports          int
+	Seed           int64
+	Unidirectional bool
+	NoShortcuts    bool
+	Alive          []bool // nil when every node is powered on
+}
+
+// spec snapshots the network's rebuild inputs.
+func (n *Network) spec() networkSpec {
+	s := networkSpec{Design: n.d.Name, Nodes: n.d.N, Seed: n.d.Seed}
+	if n.d.SF != nil {
+		s.Ports = n.d.SF.Cfg.Ports
+		// The wire-variant flags only exist for the sf design; s2 encodes
+		// its no-shortcut bidirectional build in the kind itself.
+		if n.d.Name == "sf" {
+			s.Unidirectional = !n.d.SF.Cfg.Bidirectional
+			s.NoShortcuts = !n.d.SF.Cfg.Shortcuts
+		}
+	}
+	if n.net != nil {
+		n.mu.RLock()
+		alive := n.net.AliveSlice()
+		n.mu.RUnlock()
+		for _, a := range alive {
+			if !a {
+				s.Alive = alive
+				break
+			}
+		}
+	}
+	return s
+}
+
+// build deploys the spec into a fresh Network.
+func (s networkSpec) build() (*Network, error) {
+	net, err := NewFromOptions(Options{
+		Design:         s.Design,
+		Nodes:          s.Nodes,
+		Ports:          s.Ports,
+		Seed:           s.Seed,
+		Unidirectional: s.Unidirectional,
+		NoShortcuts:    s.NoShortcuts,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if s.Alive != nil {
+		if err := net.SetMounted(s.Alive); err != nil {
+			return nil, err
+		}
+	}
+	return net, nil
+}
+
+// key is a canonical cache key for worker-side network reuse.
+func (s networkSpec) key() string {
+	alive := ""
+	if s.Alive != nil {
+		mask := make([]byte, len(s.Alive))
+		for i, a := range s.Alive {
+			mask[i] = '0'
+			if a {
+				mask[i] = '1'
+			}
+		}
+		alive = string(mask)
+	}
+	return fmt.Sprintf("%s/%d/%d/%d/%t/%t/%s",
+		s.Design, s.Nodes, s.Ports, s.Seed, s.Unidirectional, s.NoShortcuts, alive)
+}
+
+// Wire workload kinds. FuncWorkload carries arbitrary Go functions and
+// cannot travel; SweepDistributed runs such points in-process instead.
+const (
+	wireSynthetic = "synthetic"
+	wireTrace     = "trace"
+)
+
+// wirePoint is a Point in serializable form.
+type wirePoint struct {
+	Kind string
+	Name string
+	Rate float64
+	Seed int64
+}
+
+// pointToWire converts a sweep point for transport. ok is false for
+// workloads that cannot be serialized (FuncWorkload and external
+// implementations), which the coordinator keeps in-process.
+func pointToWire(p Point) (wirePoint, bool) {
+	switch w := p.Workload.(type) {
+	case SyntheticWorkload:
+		return wirePoint{Kind: wireSynthetic, Name: w.Pattern, Rate: p.Rate, Seed: p.Seed}, true
+	case TraceWorkload:
+		return wirePoint{Kind: wireTrace, Name: w.Workload, Rate: p.Rate, Seed: p.Seed}, true
+	}
+	return wirePoint{}, false
+}
+
+// point reconstructs the sweep point on the worker.
+func (wp wirePoint) point() (Point, error) {
+	switch wp.Kind {
+	case wireSynthetic:
+		return Point{Workload: SyntheticWorkload{Pattern: wp.Name}, Rate: wp.Rate, Seed: wp.Seed}, nil
+	case wireTrace:
+		return Point{Workload: TraceWorkload{Workload: wp.Name}, Rate: wp.Rate, Seed: wp.Seed}, nil
+	}
+	return Point{}, fmt.Errorf("stringfigure: unknown wire workload kind %q", wp.Kind)
+}
+
+// wireJob is one dispatched sweep point: the network to rebuild, the
+// sweep's base session config, and the point with its global index (the
+// PointSeed input, so remote seeds match the in-process pool exactly).
+type wireJob struct {
+	Spec  networkSpec
+	Cfg   SessionConfig
+	Index int
+	Point wirePoint
+}
+
+// wireResult is a Result in serializable form: the Err field (an
+// interface, excluded from transport) travels as text. Well-known
+// context errors are restored as their canonical values so errors.Is
+// keeps working across the wire; other errors arrive as opaque strings.
+type wireResult struct {
+	Res    Result
+	ErrMsg string
+}
+
+func resultToWire(r Result) wireResult {
+	wr := wireResult{Res: r}
+	if r.Err != nil {
+		wr.ErrMsg = r.Err.Error()
+		wr.Res.Err = nil
+	}
+	return wr
+}
+
+func (wr wireResult) result() Result {
+	r := wr.Res
+	switch wr.ErrMsg {
+	case "":
+	case context.Canceled.Error():
+		r.Err = context.Canceled
+	case context.DeadlineExceeded.Error():
+		r.Err = context.DeadlineExceeded
+	default:
+		r.Err = errors.New(wr.ErrMsg)
+	}
+	return r
+}
+
+// encodeWire gob-encodes one wire value.
+func encodeWire(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// decodeWire gob-decodes one wire value.
+func decodeWire(data []byte, v any) error {
+	return gob.NewDecoder(bytes.NewReader(data)).Decode(v)
+}

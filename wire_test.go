@@ -1,0 +1,169 @@
+package stringfigure
+
+// Wire-codec tests: the serializable forms of SessionConfig, Point and
+// Result must round-trip bit-exactly, because distributed sweeps promise
+// Results identical to in-process runs. Internal test package — the wire
+// structs are deliberately unexported.
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+)
+
+func TestWireSessionConfigRoundTrip(t *testing.T) {
+	cfg := SessionConfig{
+		Rate: 0.37, Warmup: 1234, Measure: 5678, PacketFlits: 3,
+		AdaptiveThreshold: 0.62, Seed: -991,
+		Ops: 777, Sockets: 3, Window: 9, Threads: 5, MaxCycles: 123456789,
+	}
+	job := wireJob{Cfg: cfg, Index: 41,
+		Spec:  networkSpec{Design: "sf", Nodes: 64, Ports: 4, Seed: 7},
+		Point: wirePoint{Kind: wireSynthetic, Name: "uniform", Rate: 0.37}}
+	b, err := encodeWire(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got wireJob
+	if err := decodeWire(b, &got); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, job) {
+		t.Errorf("wireJob round-trip:\ngot  %+v\nwant %+v", got, job)
+	}
+}
+
+func TestWirePointRoundTrip(t *testing.T) {
+	points := []Point{
+		{Workload: SyntheticWorkload{Pattern: "tornado"}, Rate: 0.25},
+		{Workload: TraceWorkload{Workload: "redis"}},
+		{Workload: SyntheticWorkload{Pattern: "hotspot"}, Rate: 0.1, Seed: 42},
+	}
+	for i, p := range points {
+		wp, ok := pointToWire(p)
+		if !ok {
+			t.Fatalf("point %d not serializable", i)
+		}
+		b, err := encodeWire(wp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back wirePoint
+		if err := decodeWire(b, &back); err != nil {
+			t.Fatal(err)
+		}
+		got, err := back.point()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, p) {
+			t.Errorf("point %d round-trip:\ngot  %+v\nwant %+v", i, got, p)
+		}
+	}
+	// FuncWorkload carries code and must be refused, not mangled.
+	if _, ok := pointToWire(Point{Workload: FuncWorkload{Label: "f"}}); ok {
+		t.Error("FuncWorkload serialized; it must stay in-process")
+	}
+	if _, err := (wirePoint{Kind: "martian"}).point(); err == nil {
+		t.Error("unknown wire kind accepted")
+	}
+}
+
+func TestWireResultRoundTrip(t *testing.T) {
+	res := Result{
+		Workload: "grep", Rate: 0.15, Seed: 99,
+		Cycles: 40000, Injected: 1201, Delivered: 1200,
+		AvgLatencyNs: 81.25, P90LatencyNs: 140.5, AvgHops: 3.375,
+		ThroughputFPC: 0.0625, Escaped: 17, Dropped: 3, Deadlocked: true,
+		IPC: 0.8125, AvgReadLatencyNs: 210.75, DRAMAccesses: 512,
+		ReadsCompleted: 480, TotalInstrs: 100000,
+		NetworkEnergyPJ: 1.5e6, DRAMEnergyPJ: 2.5e6, TotalEnergyPJ: 4e6,
+		EDP: 3.2e11,
+	}
+	b, err := encodeWire(resultToWire(res))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wr wireResult
+	if err := decodeWire(b, &wr); err != nil {
+		t.Fatal(err)
+	}
+	if got := wr.result(); !reflect.DeepEqual(got, res) {
+		t.Errorf("Result round-trip:\ngot  %+v\nwant %+v", got, res)
+	}
+
+	// Errors travel as text; canonical context errors are restored so
+	// errors.Is keeps working across the wire.
+	res.Err = context.Canceled
+	b, err = encodeWire(resultToWire(res))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wr2 wireResult
+	if err := decodeWire(b, &wr2); err != nil {
+		t.Fatal(err)
+	}
+	if got := wr2.result(); !errors.Is(got.Err, context.Canceled) {
+		t.Errorf("context.Canceled did not survive the wire: %v", got.Err)
+	}
+	res.Err = errors.New("remote session exploded")
+	b, _ = encodeWire(resultToWire(res))
+	var wr3 wireResult
+	if err := decodeWire(b, &wr3); err != nil {
+		t.Fatal(err)
+	}
+	if got := wr3.result(); got.Err == nil || got.Err.Error() != "remote session exploded" {
+		t.Errorf("error text mangled: %v", got.Err)
+	}
+}
+
+func TestNetworkSpecRebuild(t *testing.T) {
+	// A network rebuilt from its spec must expose the identical topology
+	// (the foundation of remote bit-identical execution), including a
+	// snapshotted alive mask applied via SetMounted.
+	net, err := New(WithNodes(48), WithSeed(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mask := make([]bool, 48)
+	for i := range mask {
+		mask[i] = true
+	}
+	mask[5], mask[17] = false, false
+	if err := net.SetMounted(mask); err != nil {
+		t.Fatal(err)
+	}
+	spec := net.spec()
+	if spec.Alive == nil {
+		t.Fatal("gated network spec lost its alive mask")
+	}
+	rebuilt, err := spec.build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < 48; v++ {
+		if net.Alive(v) != rebuilt.Alive(v) {
+			t.Fatalf("node %d liveness differs after rebuild", v)
+		}
+		a, b := net.OutNeighbors(v), rebuilt.OutNeighbors(v)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("router %d adjacency differs after rebuild:\n%v\n%v", v, a, b)
+		}
+	}
+
+	// Ungated networks serialize without a mask, for every design.
+	for _, kind := range Designs() {
+		n2, err := New(WithDesign(kind), WithNodes(16), WithSeed(3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		spec := n2.spec()
+		if spec.Alive != nil {
+			t.Errorf("%s: ungated spec carries an alive mask", kind)
+		}
+		if _, err := spec.build(); err != nil {
+			t.Errorf("%s: spec rebuild failed: %v", kind, err)
+		}
+	}
+}
