@@ -6,14 +6,22 @@
 // Usage:
 //
 //	sfexp -exp fig5|fig9a|fig9b|fig10|fig11|fig12a|fig12b|table2|bisect|sweep|ablate|all [-quick]
+//
+// With -telemetry FILE, experiments that run through the public Session/
+// Sweep layer (currently -exp sweep) additionally stream live NDJSON
+// telemetry: one {"type":"interval",...} record per per-point snapshot
+// interval, and — when -listen is active — one {"type":"progress",...}
+// record per worker per second while sweeps drain.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
+	"sync"
 	"time"
 
 	stringfigure "repro"
@@ -22,16 +30,100 @@ import (
 	"repro/internal/trace"
 )
 
+// telemetryWriter serializes NDJSON telemetry records from concurrent sweep
+// workers onto one file. The first write error is kept and reported at
+// close, so a full disk cannot silently truncate the stream.
+type telemetryWriter struct {
+	mu   sync.Mutex
+	f    *os.File
+	enc  *json.Encoder
+	werr error
+}
+
+func newTelemetryWriter(path string) (*telemetryWriter, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return &telemetryWriter{f: f, enc: json.NewEncoder(f)}, nil
+}
+
+// encode writes one record under the lock, retaining the first failure.
+// Callers hold w.mu.
+func (w *telemetryWriter) encode(rec any) {
+	if err := w.enc.Encode(rec); err != nil && w.werr == nil {
+		w.werr = err
+	}
+}
+
+// interval writes one snapshot record; it is the WithTelemetry sink, called
+// from every sweep worker concurrently.
+func (w *telemetryWriter) interval(s stringfigure.TelemetrySnapshot) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.encode(struct {
+		Type string `json:"type"`
+		stringfigure.TelemetrySnapshot
+	}{Type: "interval", TelemetrySnapshot: s})
+}
+
+// progress writes one record per worker report.
+func (w *telemetryWriter) progress(ps []stringfigure.WorkerProgress) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for _, p := range ps {
+		var unixMs int64
+		if !p.LastReport.IsZero() {
+			unixMs = p.LastReport.UnixMilli()
+		}
+		w.encode(struct {
+			Type      string `json:"type"`
+			Worker    int    `json:"worker"`
+			Capacity  int    `json:"capacity"`
+			Active    int    `json:"active"`
+			Completed int64  `json:"completed"`
+			UnixMs    int64  `json:"unix_ms"`
+		}{Type: "progress", Worker: p.Worker, Capacity: p.Capacity,
+			Active: p.Active, Completed: p.Completed, UnixMs: unixMs})
+	}
+}
+
+func (w *telemetryWriter) close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	err := w.f.Close()
+	if w.werr != nil {
+		err = w.werr
+	}
+	return err
+}
+
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment id (fig5, fig9a, fig9b, fig10, fig11, fig12a, fig12b, table2, bisect, sweep, placement, ablate, all)")
-		quick   = flag.Bool("quick", false, "reduced simulation budget for smoke runs")
-		scale   = flag.Int("scale", 0, "restrict the fig10/fig11 network size to one N (0 = figure defaults)")
-		seed    = flag.Int64("seed", 1, "seed")
-		listen  = flag.String("listen", "", "run as a distributed-sweep coordinator on this address (host:port); cmd/sfworker processes dial it and figure sweeps fan across them")
-		workers = flag.Int("workers", 0, "with -listen: wait for this many workers to connect before running (0 = start immediately, workers may join mid-run)")
+		exp       = flag.String("exp", "all", "experiment id (fig5, fig9a, fig9b, fig10, fig11, fig12a, fig12b, table2, bisect, sweep, placement, ablate, all)")
+		quick     = flag.Bool("quick", false, "reduced simulation budget for smoke runs")
+		scale     = flag.Int("scale", 0, "restrict the fig10/fig11 network size to one N (0 = figure defaults)")
+		seed      = flag.Int64("seed", 1, "seed")
+		listen    = flag.String("listen", "", "run as a distributed-sweep coordinator on this address (host:port); cmd/sfworker processes dial it and figure sweeps fan across them")
+		workers   = flag.Int("workers", 0, "with -listen: wait for this many workers to connect before running (0 = start immediately, workers may join mid-run)")
+		telemetry = flag.String("telemetry", "", "stream live NDJSON telemetry (interval snapshots; with -listen also per-worker progress) to this file")
 	)
 	flag.Parse()
+
+	var tw *telemetryWriter
+	if *telemetry != "" {
+		var err error
+		tw, err = newTelemetryWriter(*telemetry)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sfexp: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			if err := tw.close(); err != nil {
+				fmt.Fprintf(os.Stderr, "sfexp: telemetry stream to %s failed: %v\n", *telemetry, err)
+			}
+		}()
+	}
 
 	// With -listen, the figure sweeps (8/10/11/12) shard their points over
 	// remote sfworker processes; results are bit-identical to local runs,
@@ -57,6 +149,29 @@ func main() {
 			}
 		}
 		fmt.Printf("sfexp: cluster ready: %d workers, %d slots\n", cluster.Workers(), cluster.Capacity())
+		if tw != nil {
+			// Surface per-worker liveness/throughput while sweeps drain.
+			// Joined before tw closes so no tick can outlive the file.
+			stopProgress := make(chan struct{})
+			progressDone := make(chan struct{})
+			go func() {
+				defer close(progressDone)
+				t := time.NewTicker(time.Second)
+				defer t.Stop()
+				for {
+					select {
+					case <-t.C:
+						tw.progress(cluster.Progress())
+					case <-stopProgress:
+						return
+					}
+				}
+			}()
+			defer func() {
+				close(stopProgress)
+				<-progressDone
+			}()
+		}
 	}
 
 	sc := experiments.DefaultSimScale()
@@ -202,6 +317,14 @@ func main() {
 		}
 		rates := []float64{0.05, 0.10, 0.15, 0.20, 0.25, 0.30, 0.40, 0.50}
 		cfg := stringfigure.SessionConfig{Warmup: sc.Warmup, Measure: sc.Measure, Seed: *seed}
+		if tw != nil {
+			// Several interval records per point, even at -quick budgets.
+			every := (sc.Warmup + sc.Measure) / 8
+			if every < 1 {
+				every = 1
+			}
+			cfg = cfg.WithTelemetry(every, tw.interval)
+		}
 		s := stats.NewSeries(
 			fmt.Sprintf("Public-API rate sweep: sf N=%d uniform, %s", n, pool),
 			"rate_pct", "lat_ns", "p90_ns", "thru_fpc", "net_nJ")

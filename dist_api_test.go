@@ -272,3 +272,45 @@ func TestSweepAbandonAfterCancelDoesNotLeak(t *testing.T) {
 	t.Fatalf("goroutines did not settle: before=%d now=%d (%d stuck in SweepContext)\n%s",
 		before, runtime.NumGoroutine(), leaked, stacks)
 }
+
+func TestDistributedSweepReportsProgress(t *testing.T) {
+	// Long-running distributed sweeps must not go dark: workers report a
+	// progress frame on every point start and completion, and the cluster
+	// surfaces the latest per-worker state.
+	c := startCluster(t, 2, 2)
+	net, err := New(WithNodes(32), WithSeed(6), WithCluster(c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	points := RateSweep(SyntheticWorkload{Pattern: "uniform"},
+		[]float64{0.02, 0.05, 0.08, 0.11, 0.14, 0.17})
+	cfg := SessionConfig{Warmup: 200, Measure: 600, Seed: 1}
+	for _, r := range net.SweepDistributedAll(cfg, points) {
+		if r.Err != nil {
+			t.Fatal(r.Err)
+		}
+	}
+	// Every point ran remotely (both workers stayed connected), so the
+	// per-worker completion counters must sum to the point count. The last
+	// completion report may trail its result frame; poll briefly.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		ps := c.Progress()
+		var total int64
+		active := 0
+		for _, p := range ps {
+			total += p.Completed
+			active += p.Active
+			if p.Capacity != 2 {
+				t.Fatalf("worker %d capacity = %d, want 2", p.Worker, p.Capacity)
+			}
+		}
+		if len(ps) == 2 && total == int64(len(points)) && active == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("cluster progress never converged: %+v", ps)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

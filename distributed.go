@@ -147,12 +147,14 @@ func (n *Network) SaturationDistributedContext(ctx context.Context, w Workload, 
 		})
 }
 
-// errResult shapes a point's failure Result exactly like the in-process
-// pool does (identity fields filled, per-point seed derived).
+// errResult shapes a point's failure Result exactly like a successful run
+// would identify itself: workload name, the rate the point effectively runs
+// at (not the possibly-zero Point.Rate), and the derived per-point seed.
 func (n *Network) errResult(cfg SessionConfig, p Point, i int, err error) Result {
-	res := Result{Rate: p.Rate, Seed: pointSeedOf(cfg, p, i), Err: err}
+	res := Result{Seed: pointSeedOf(cfg, p, i), Err: err}
 	if p.Workload != nil {
 		res.Workload = p.Workload.Name()
+		res.Rate = reportedRate(cfg, p)
 	}
 	return res
 }

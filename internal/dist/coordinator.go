@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net"
 	"runtime"
+	"sort"
 	"sync"
 	"time"
 )
@@ -171,6 +172,10 @@ type remote struct {
 
 	imu      sync.Mutex
 	inflight map[[2]int]struct{} // {run, task} dispatched and unanswered
+
+	pmu        sync.Mutex
+	progress   Progress
+	progressAt time.Time
 }
 
 func (w *remote) send(f *frame, timeout time.Duration) error {
@@ -245,6 +250,8 @@ func (c *Coordinator) handle(conn net.Conn) {
 			// Liveness is the read itself; nothing to do.
 		case msgResult:
 			c.deliver(w, f)
+		case msgProgress:
+			c.noteProgress(w, f)
 		}
 	}
 	close(hbStop)
@@ -272,6 +279,60 @@ func (c *Coordinator) deliver(w *remote, f *frame) {
 		err = errors.New(f.Err)
 	}
 	r.complete(f.ID, f.Payload, err)
+}
+
+// noteProgress records a worker's progress report and forwards it to the
+// configured callback. Reports from concurrent worker goroutines can reach
+// the socket out of order; generation order is recoverable because the
+// worker builds frames under its job lock — Completed only grows, and
+// between two completions Active only grows — so a frame older on both
+// axes is stale and rejected.
+func (c *Coordinator) noteProgress(w *remote, f *frame) {
+	p := Progress{Capacity: f.Capacity, Active: f.Active, Completed: f.Completed}
+	w.pmu.Lock()
+	if f.Completed < w.progress.Completed ||
+		(f.Completed == w.progress.Completed && f.Active < w.progress.Active) {
+		w.pmu.Unlock()
+		return
+	}
+	w.progress = p
+	w.progressAt = time.Now()
+	w.pmu.Unlock()
+	if c.cfg.OnProgress != nil {
+		c.cfg.OnProgress(w.id, p)
+	}
+}
+
+// WorkerProgress is one worker's latest progress report, stamped with its
+// coordinator-assigned id and report time.
+type WorkerProgress struct {
+	Worker int
+	Progress
+	LastReport time.Time
+}
+
+// Progress returns the latest progress report of every connected worker,
+// ordered by worker id. Workers that have not reported yet appear with
+// their hello capacity and a zero LastReport.
+func (c *Coordinator) Progress() []WorkerProgress {
+	c.mu.Lock()
+	workers := make([]*remote, 0, len(c.workers))
+	for _, w := range c.workers {
+		workers = append(workers, w)
+	}
+	c.mu.Unlock()
+	out := make([]WorkerProgress, 0, len(workers))
+	for _, w := range workers {
+		w.pmu.Lock()
+		p, at := w.progress, w.progressAt
+		w.pmu.Unlock()
+		if p.Capacity == 0 {
+			p.Capacity = w.capacity
+		}
+		out = append(out, WorkerProgress{Worker: w.id, Progress: p, LastReport: at})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Worker < out[j].Worker })
+	return out
 }
 
 // drop unregisters a lost worker and requeues its in-flight tasks.

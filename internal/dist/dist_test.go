@@ -26,6 +26,7 @@ func TestFrameRoundTrip(t *testing.T) {
 		{Type: msgResult, Run: 3, ID: 17, Payload: []byte{0, 1, 2}, Err: "boom"},
 		{Type: msgHeartbeat},
 		{Type: msgCancel, Run: 9},
+		{Type: msgProgress, Capacity: 4, Active: 2, Completed: 31},
 	}
 	var buf bytes.Buffer
 	for _, f := range frames {
@@ -503,4 +504,67 @@ func TestDialRetryCoversLateCoordinator(t *testing.T) {
 		t.Fatalf("Dial with retry failed: %v", res.err)
 	}
 	res.conn.Close()
+}
+
+func TestWorkerProgressFrames(t *testing.T) {
+	// Workers report progress on every task start and completion; the
+	// coordinator surfaces the latest report per worker (poll) and fires
+	// the OnProgress callback (push), so a long run is never dark.
+	var callbacks atomic.Int32
+	cfg := testCfg()
+	cfg.OnProgress = func(worker int, p Progress) {
+		if worker <= 0 || p.Capacity != 2 || p.Completed < 0 {
+			t.Errorf("bad progress report: worker=%d %+v", worker, p)
+		}
+		callbacks.Add(1)
+	}
+	c, err := Listen("127.0.0.1:0", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	stop := startWorker(t, c, 2, echoUpper)
+	defer stop()
+	if err := c.WaitWorkers(context.Background(), 1); err != nil {
+		t.Fatal(err)
+	}
+
+	// Before any run, Progress lists the worker with its hello capacity.
+	ps := c.Progress()
+	if len(ps) != 1 || ps[0].Capacity != 2 || ps[0].Completed != 0 {
+		t.Fatalf("initial progress wrong: %+v", ps)
+	}
+
+	const tasks = 6
+	payloads := make([][]byte, tasks)
+	for i := range payloads {
+		payloads[i] = []byte(fmt.Sprintf("task-%d", i))
+	}
+	out, err := c.Run(context.Background(), payloads, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	collect(t, out, tasks)
+
+	// The final completion report may trail the last result frame; poll
+	// briefly until the counters converge.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		ps = c.Progress()
+		if len(ps) == 1 && ps[0].Completed == tasks && ps[0].Active == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("worker progress never converged: %+v", ps)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if ps[0].LastReport.IsZero() {
+		t.Error("progress report carries no timestamp")
+	}
+	// One start + one completion report per task, minus any dropped as
+	// stale under concurrent sends: well over one callback per task.
+	if n := callbacks.Load(); n < tasks {
+		t.Errorf("OnProgress fired %d times for %d tasks", n, tasks)
+	}
 }

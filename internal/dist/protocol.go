@@ -38,20 +38,44 @@ const (
 	// workers distinguish it (clean exit) from a crash or partition
 	// (error, so supervisors restart them).
 	msgGoodbye
+	// msgProgress is the worker's live execution report, sent whenever a
+	// task starts or completes: how many tasks are running and how many
+	// have finished since the worker connected. Coordinators surface it so
+	// long-running distributed sweeps show per-worker liveness and
+	// throughput instead of going dark between results. Coordinators that
+	// predate the frame ignore it (the read itself still counts as
+	// liveness).
+	msgProgress
 )
 
 // frame is the single envelope every wire message travels in. Fields are
 // a union over the message types: Run/ID identify a task (msgJob,
-// msgResult, msgCancel), Capacity rides on msgHello, Payload carries the
-// task or result blob, and Err transfers a worker-side execution error as
-// text (typed errors do not survive the wire).
+// msgResult, msgCancel), Capacity rides on msgHello and msgProgress,
+// Active/Completed ride on msgProgress, Payload carries the task or
+// result blob, and Err transfers a worker-side execution error as text
+// (typed errors do not survive the wire).
 type frame struct {
-	Type     msgType
-	Run      int
-	ID       int
+	Type      msgType
+	Run       int
+	ID        int
+	Capacity  int
+	Active    int
+	Completed int64
+	Payload   []byte
+	Err       string
+}
+
+// Progress is one worker's self-reported execution state, updated on every
+// task start and completion.
+type Progress struct {
+	// Capacity is the worker's concurrent-task slot count (from its hello).
 	Capacity int
-	Payload  []byte
-	Err      string
+	// Active is the number of tasks running on the worker right now.
+	Active int
+	// Completed counts tasks finished since the worker connected; the
+	// delta between two reports over their wall-clock gap is the worker's
+	// throughput.
+	Completed int64
 }
 
 // Config tunes the transport. The zero value uses production defaults;
@@ -66,6 +90,11 @@ type Config struct {
 	// MaxRequeues bounds how often one task is redistributed after
 	// worker losses before it fails with ErrWorkerLost (default 3).
 	MaxRequeues int
+	// OnProgress, when set on a coordinator, receives every worker
+	// progress report as it arrives (called from the worker's connection
+	// goroutine; keep it fast and do not block). Coordinator.Progress
+	// offers the same data as a poll.
+	OnProgress func(worker int, p Progress)
 }
 
 func (c *Config) fill() {

@@ -87,6 +87,19 @@ func Serve(parent context.Context, conn net.Conn, capacity int, run RunFunc, cfg
 	cancels := make(map[[2]int]context.CancelFunc)
 	var jobs sync.WaitGroup
 
+	// Progress reporting: a frame on every job start and completion keeps
+	// the coordinator's per-worker view live. Counters are guarded by jmu;
+	// the send is best-effort (a failed send surfaces on the next result
+	// or heartbeat write anyway).
+	var active int
+	var completed int64
+	reportProgress := func() {
+		jmu.Lock()
+		f := &frame{Type: msgProgress, Capacity: capacity, Active: active, Completed: completed}
+		jmu.Unlock()
+		send(f)
+	}
+
 	for {
 		conn.SetReadDeadline(time.Now().Add(cfg.HeartbeatTimeout))
 		f, err := readFrame(conn)
@@ -121,13 +134,17 @@ func Serve(parent context.Context, conn net.Conn, capacity int, run RunFunc, cfg
 			jctx, jcancel := context.WithCancel(ctx)
 			jmu.Lock()
 			cancels[key] = jcancel
+			active++
 			jmu.Unlock()
+			reportProgress()
 			jobs.Add(1)
 			go func(f *frame) {
 				defer jobs.Done()
 				payload, err := run(jctx, f.Payload)
 				jmu.Lock()
 				delete(cancels, key)
+				active--
+				completed++
 				jmu.Unlock()
 				jcancel()
 				res := &frame{Type: msgResult, Run: f.Run, ID: f.ID, Payload: payload}
@@ -137,7 +154,9 @@ func Serve(parent context.Context, conn net.Conn, capacity int, run RunFunc, cfg
 				}
 				if send(res) != nil {
 					conn.Close() // result lost; force reconnect semantics
+					return
 				}
+				reportProgress()
 			}(f)
 		}
 	}

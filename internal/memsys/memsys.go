@@ -349,3 +349,15 @@ func (s *System) Results() Results {
 // callers can report network-side latency and throughput alongside the
 // memory-system summary.
 func (s *System) NetResults() netsim.Results { return s.net.Results() }
+
+// OutstandingReads returns the reads currently in flight across all sockets
+// — the memory-side occupancy reported by interval telemetry probes. Safe to
+// call from netsim snapshot callbacks (which run on the simulating
+// goroutine) or between Run slices.
+func (s *System) OutstandingReads() int {
+	total := 0
+	for _, c := range s.cpus {
+		total += c.outstanding
+	}
+	return total
+}

@@ -84,6 +84,13 @@ type Config struct {
 	// closed-loop clients (the memory system co-simulation) use it to
 	// couple requests with responses. Callbacks run inside Run.
 	OnDelivered func(src, dst int, tag int64)
+	// SnapshotEvery emits an interval Snapshot to OnSnapshot every this
+	// many cycles (0 disables the probe). Emission only reads accumulated
+	// counters — it never touches the RNG or any simulation state, so
+	// attaching the probe leaves results bit-identical.
+	SnapshotEvery int64
+	// OnSnapshot receives interval snapshots; callbacks run inside Run.
+	OnSnapshot func(Snapshot)
 	// Seed drives injection randomness.
 	Seed int64
 }
@@ -211,6 +218,10 @@ type Sim struct {
 	trafficFn func(cycle int64, src int, rng *rand.Rand) (dst int, ok bool)
 	trace     []TraceEvent
 	tracePos  int
+
+	// snapBase is the counter baseline of the current telemetry interval;
+	// emitSnapshot advances it and ResetStats re-anchors it.
+	snapBase snapBase
 }
 
 // TraceEvent is one trace-driven packet injection.
@@ -317,6 +328,10 @@ func (s *Sim) step() {
 		s.arbitrate(r)
 	}
 	s.cycle++
+	if s.cfg.OnSnapshot != nil && s.cfg.SnapshotEvery > 0 &&
+		s.cycle-s.snapBase.cycle >= s.cfg.SnapshotEvery {
+		s.emitSnapshot()
+	}
 	if !s.res.Deadlocked && s.cycle-s.lastMove > 50_000 && s.inFlight() > 0 {
 		s.res.Deadlocked = true
 	}
@@ -452,7 +467,8 @@ func (s *Sim) routeHeads(r *router) {
 		f := iu.q[0]
 		if iu.route >= 0 {
 			// Divert a starved routed head to the escape subnetwork (only
-			// heads can be re-routed; bodies follow the committed path).
+			// heads can be re-routed; bodies follow the committed path). A
+			// failed diversion keeps the existing adaptive route.
 			if f.head && iu.route != eject && iu.blocked >= s.cfg.EscapePatience &&
 				iu.outVC >= s.cfg.EscapeVCs {
 				s.assignEscape(r, iu, f.pkt)
@@ -472,15 +488,21 @@ func (s *Sim) routeHeads(r *router) {
 		}
 		if f.pkt.escaped {
 			// Committed to the escape subnetwork for the rest of the trip.
-			s.assignEscape(r, iu, f.pkt)
+			// An escape hop that stops resolving (the destination or the
+			// current node left the escape ring mid-reconfiguration) makes
+			// the packet permanently undeliverable: drop it rather than
+			// let it clog the escape channels forever.
+			if !s.assignEscape(r, iu, f.pkt) {
+				s.purgeHeadPacket(r, i)
+				s.res.Dropped++
+			}
 			continue
 		}
 		cands := s.cfg.Alg.Candidates(r.id, f.pkt.dst)
 		if len(cands) == 0 {
 			// Unroutable on the adaptive network: try escape before
 			// dropping (reconfiguration windows).
-			if s.cfg.EscapeRoute != nil {
-				s.assignEscape(r, iu, f.pkt)
+			if s.cfg.EscapeRoute != nil && s.assignEscape(r, iu, f.pkt) {
 				continue
 			}
 			s.purgeHeadPacket(r, i)
@@ -499,15 +521,15 @@ func (s *Sim) routeHeads(r *router) {
 }
 
 // assignEscape commits the packet to the escape subnetwork and routes its
-// next hop along it.
-func (s *Sim) assignEscape(r *router, iu *inputUnit, p *packet) {
+// next hop along it. It reports whether the escape hop resolved to a real
+// link; on failure (the escape function declined — possible only on a
+// degraded escape subnetwork mid-reconfiguration) the unit is left exactly
+// as it was, and the caller decides the packet's fate.
+func (s *Sim) assignEscape(r *router, iu *inputUnit, p *packet) bool {
 	next, escVC := s.escapeHop(r.id, p.dst)
 	port, ok := r.outPortOf[next]
 	if !ok {
-		// The escape function proposed a non-link; the packet is
-		// unroutable (should not happen on an intact escape subnetwork).
-		iu.route = -1
-		return
+		return false
 	}
 	if !p.escaped {
 		p.escaped = true
@@ -516,6 +538,7 @@ func (s *Sim) assignEscape(r *router, iu *inputUnit, p *packet) {
 	iu.route = port
 	iu.outVC = escVC
 	iu.blocked = 0
+	return true
 }
 
 // escapeHop resolves the escape next hop and VC.
@@ -742,7 +765,28 @@ func (s *Sim) Results() Results {
 }
 
 // ResetStats clears metrics (after warm-up) without disturbing network
-// state.
+// state. The telemetry interval baseline re-anchors at the current cycle, so
+// the first snapshot after a reset covers only post-reset cycles.
 func (s *Sim) ResetStats() {
 	s.res = Results{MinInjectLatency: -1}
+	s.snapBase = snapBase{cycle: s.cycle}
+}
+
+// SetEscapeRoute swaps the escape routing function mid-run — the hook
+// scheduled reconfiguration uses to keep the escape subnetwork consistent
+// with the alive mask. Call it only between (or inside) Run slices on the
+// simulating goroutine.
+func (s *Sim) SetEscapeRoute(f func(cur, dst int) (next int, escVC int)) {
+	s.cfg.EscapeRoute = f
+}
+
+// SetLinkLatency swaps the per-link latency function mid-run. Scheduled
+// reconfiguration uses it to charge the wake-up latency of links that were
+// just switched on: the function may consult Cycle() to make a waking link
+// cost its remaining wake time. Flit arrival order per link stays FIFO as
+// long as the latency of a link never decreases faster than one cycle per
+// cycle (a fixed wake deadline satisfies this). Call it only on the
+// simulating goroutine.
+func (s *Sim) SetLinkLatency(f func(u, v int) int) {
+	s.cfg.LinkLatency = f
 }

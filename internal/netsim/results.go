@@ -121,14 +121,17 @@ func FindSaturation(cfg SaturationConfig, factory func(rate float64) (*Sim, erro
 		if res.Deadlocked {
 			break
 		}
-		if res.Delivered == 0 {
+		// Zero deliveries only indicate saturation when packets were
+		// actually offered: a measurement window too short for any
+		// injection at a very low rate is not a saturated network.
+		if res.Injected > 0 && res.Delivered == 0 {
 			break
 		}
 		if res.AvgLatencyCycles() > cfg.LatencyCapCycles {
 			break
 		}
 		// Compare deliveries against the steady-state offered load.
-		if res.DeliveredFraction() < cfg.MinDelivered {
+		if res.Injected > 0 && res.DeliveredFraction() < cfg.MinDelivered {
 			break
 		}
 		sat = rate

@@ -1,0 +1,74 @@
+package netsim
+
+import (
+	"repro/internal/stats"
+)
+
+// Snapshot is one interval telemetry record: the traffic observed since the
+// previous snapshot (or since the last ResetStats), not cumulative totals.
+// Emission reads accumulated counters only — it cannot perturb simulation
+// state or determinism.
+type Snapshot struct {
+	// Cycle is the absolute simulation cycle at emission; IntervalCycles is
+	// the window length this snapshot covers (shorter than SnapshotEvery
+	// only for the first snapshot after a mid-interval ResetStats).
+	Cycle          int64
+	IntervalCycles int64
+
+	Injected  int64 // packets offered to source queues this interval
+	Delivered int64 // packets fully ejected this interval
+	Escaped   int64 // escape-subnetwork diversions this interval
+	Dropped   int64 // packets dropped as unroutable this interval
+
+	AvgLatencyCycles float64 // mean packet latency over the interval's deliveries
+	P90LatencyCycles int     // latency P90 over the interval's deliveries
+	ThroughputFPC    float64 // delivered flits per node per interval cycle
+
+	InFlight int // flits inside the network at emission (occupancy)
+}
+
+// snapBase is the counter baseline of the current interval.
+type snapBase struct {
+	cycle          int64
+	injected       int64
+	delivered      int64
+	flitsDelivered int64
+	escaped        int64
+	dropped        int64
+	latencySum     float64
+	latencyHist    stats.Histogram
+}
+
+// emitSnapshot publishes the interval since snapBase and advances it.
+func (s *Sim) emitSnapshot() {
+	b := &s.snapBase
+	snap := Snapshot{
+		Cycle:          s.cycle,
+		IntervalCycles: s.cycle - b.cycle,
+		Injected:       s.res.Injected - b.injected,
+		Delivered:      s.res.Delivered - b.delivered,
+		Escaped:        s.res.Escaped - b.escaped,
+		Dropped:        s.res.Dropped - b.dropped,
+		InFlight:       s.inFlight(),
+	}
+	if snap.Delivered > 0 {
+		snap.AvgLatencyCycles = (s.res.LatencySum - b.latencySum) / float64(snap.Delivered)
+		delta := s.res.LatencyHist.DeltaSince(&b.latencyHist)
+		snap.P90LatencyCycles = delta.Percentile(0.90)
+	}
+	if snap.IntervalCycles > 0 && len(s.routers) > 0 {
+		snap.ThroughputFPC = float64(s.res.FlitsDelivered-b.flitsDelivered) /
+			float64(snap.IntervalCycles) / float64(len(s.routers))
+	}
+	s.snapBase = snapBase{
+		cycle:          s.cycle,
+		injected:       s.res.Injected,
+		delivered:      s.res.Delivered,
+		flitsDelivered: s.res.FlitsDelivered,
+		escaped:        s.res.Escaped,
+		dropped:        s.res.Dropped,
+		latencySum:     s.res.LatencySum,
+		latencyHist:    s.res.LatencyHist.Clone(),
+	}
+	s.cfg.OnSnapshot(snap)
+}

@@ -127,11 +127,17 @@ func (n *Network) Graph() *graph.Graph {
 }
 
 // deriveAdjacency computes the active out-adjacency from the design and the
-// alive mask: every alive node links to its alive clockwise successor in
-// each space (ring healing skips dead nodes), and extra pairing links stay
-// active while both endpoints are alive. Shortcut wires are exactly the
-// healed ring links whose Space-0 gap matches a pre-provisioned wire.
-func (n *Network) deriveAdjacency() [][]int {
+// current alive mask.
+func (n *Network) deriveAdjacency() [][]int { return n.AdjacencyFor(n.alive) }
+
+// AdjacencyFor computes the out-adjacency the network would activate under
+// the given alive mask, without changing any state: every alive node links
+// to its alive clockwise successor in each space (ring healing skips dead
+// nodes), and extra pairing links stay active while both endpoints are
+// alive. Shortcut wires are exactly the healed ring links whose Space-0 gap
+// matches a pre-provisioned wire. Callers planning a gate schedule use it to
+// enumerate the physical wires every phase of the schedule will need.
+func (n *Network) AdjacencyFor(alive []bool) [][]int {
 	sf := n.SF
 	N := sf.Cfg.N
 	outSet := make([]map[int]bool, N)
@@ -149,14 +155,14 @@ func (n *Network) deriveAdjacency() [][]int {
 	}
 	for s := 0; s < sf.Spaces; s++ {
 		for v := 0; v < N; v++ {
-			if !n.alive[v] {
+			if !alive[v] {
 				continue
 			}
-			add(v, sf.Successor(s, v, n.alive))
+			add(v, sf.Successor(s, v, alive))
 		}
 	}
 	for _, l := range sf.Extras {
-		if n.alive[l.From] && n.alive[l.To] {
+		if alive[l.From] && alive[l.To] {
 			add(l.From, l.To)
 		}
 	}

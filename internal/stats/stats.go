@@ -95,6 +95,29 @@ func (s *Summary) Variance() float64 {
 // StdDev returns the population standard deviation.
 func (s *Summary) StdDev() float64 { return math.Sqrt(s.Variance()) }
 
+// DeltaSince returns the summary of the observations recorded between prev
+// (an earlier snapshot of this summary — Summary is a value type, so a plain
+// copy is a snapshot) and now, by inverting the Merge combination. Count,
+// mean and variance are exact up to floating-point noise; min and max cannot
+// be un-merged and report the cumulative bounds instead. The receiver is
+// unchanged.
+func (s *Summary) DeltaSince(prev Summary) Summary {
+	n := s.n - prev.n
+	if n <= 0 {
+		return Summary{}
+	}
+	if prev.n == 0 {
+		return *s
+	}
+	mean := (float64(s.n)*s.mean - float64(prev.n)*prev.mean) / float64(n)
+	delta := mean - prev.mean
+	m2 := s.m2 - prev.m2 - delta*delta*float64(prev.n)*float64(n)/float64(s.n)
+	if m2 < 0 {
+		m2 = 0 // floating-point noise on a near-constant interval
+	}
+	return Summary{n: n, mean: mean, m2: m2, min: s.min, max: s.max}
+}
+
 // Histogram is an integer-bucketed histogram with exact percentile queries.
 // It is used for hop-count and latency distributions. The zero value is ready
 // to use; buckets grow on demand.
@@ -115,8 +138,13 @@ func (h *Histogram) Observe(v int) {
 	h.total++
 }
 
-// ObserveN records n occurrences of value v.
+// ObserveN records n occurrences of value v. Non-positive n is ignored: a
+// negative count would silently corrupt total (and Merge would propagate the
+// corruption into every downstream aggregate).
 func (h *Histogram) ObserveN(v int, n int64) {
+	if n <= 0 {
+		return
+	}
 	if v < 0 {
 		v = 0
 	}
@@ -168,14 +196,17 @@ func (h *Histogram) Percentile(p float64) int {
 	if target < 1 {
 		target = 1
 	}
+	// total > 0 guarantees the cumulative count reaches target by the last
+	// bucket, so the last index needs no check: every return is reachable.
+	v := 0
 	var cum int64
-	for v, c := range h.counts {
-		cum += c
+	for ; v < len(h.counts)-1; v++ {
+		cum += h.counts[v]
 		if cum >= target {
-			return v
+			break
 		}
 	}
-	return len(h.counts) - 1
+	return v
 }
 
 // Merge folds another histogram into h.
@@ -185,6 +216,28 @@ func (h *Histogram) Merge(o *Histogram) {
 			h.ObserveN(v, c)
 		}
 	}
+}
+
+// Clone returns an independent copy of the histogram — the cheap snapshot
+// primitive behind interval telemetry: O(buckets) with no allocation beyond
+// the bucket slice.
+func (h *Histogram) Clone() Histogram {
+	return Histogram{counts: append([]int64(nil), h.counts...), total: h.total}
+}
+
+// DeltaSince returns the histogram of observations recorded between prev (an
+// earlier Clone of this histogram) and now. Buckets where prev exceeds the
+// current count — only possible when prev is not actually an earlier snapshot
+// — contribute nothing. The receiver is unchanged.
+func (h *Histogram) DeltaSince(prev *Histogram) Histogram {
+	var d Histogram
+	for v, c := range h.counts {
+		if v < len(prev.counts) {
+			c -= prev.counts[v]
+		}
+		d.ObserveN(v, c)
+	}
+	return d
 }
 
 // Quantile computes the q-th quantile (0..1) of a float64 sample by sorting a

@@ -124,6 +124,106 @@ func TestHistogramEmptyAndClamp(t *testing.T) {
 	}
 }
 
+func TestHistogramObserveNRejectsNonPositive(t *testing.T) {
+	var h Histogram
+	h.ObserveN(3, 5)
+	h.ObserveN(3, -4) // must not corrupt total or counts
+	h.ObserveN(9, -1)
+	h.ObserveN(7, 0)
+	if h.Total() != 5 {
+		t.Errorf("Total = %d after negative ObserveN, want 5", h.Total())
+	}
+	if got := h.Percentile(1.0); got != 3 {
+		t.Errorf("P100 = %d after negative ObserveN, want 3", got)
+	}
+	if h.Max() != 3 {
+		t.Errorf("Max = %d after negative ObserveN, want 3", h.Max())
+	}
+	// Merge must not propagate a would-be corruption either.
+	var a Histogram
+	a.ObserveN(1, 2)
+	a.Merge(&h)
+	if a.Total() != 7 {
+		t.Errorf("merged Total = %d, want 7", a.Total())
+	}
+}
+
+func TestHistogramPercentileSingleBucket(t *testing.T) {
+	// A single-bucket histogram exercises the loop-free path of Percentile
+	// (the last bucket returns without a cumulative check).
+	var h Histogram
+	h.ObserveN(0, 4)
+	for _, p := range []float64{0, 0.5, 1} {
+		if got := h.Percentile(p); got != 0 {
+			t.Errorf("P%v = %d, want 0", p, got)
+		}
+	}
+	h.Observe(6)
+	if got := h.Percentile(1.0); got != 6 {
+		t.Errorf("P100 = %d, want 6 (last bucket)", got)
+	}
+}
+
+func TestHistogramCloneAndDeltaSince(t *testing.T) {
+	var h Histogram
+	h.ObserveN(2, 3)
+	h.ObserveN(10, 1)
+	snap := h.Clone()
+	h.ObserveN(2, 2)
+	h.ObserveN(15, 4)
+	if snap.Total() != 4 {
+		t.Errorf("snapshot mutated by later observations: total=%d", snap.Total())
+	}
+	d := h.DeltaSince(&snap)
+	if d.Total() != 6 {
+		t.Errorf("delta total = %d, want 6", d.Total())
+	}
+	if d.Max() != 15 {
+		t.Errorf("delta max = %d, want 15", d.Max())
+	}
+	if got := d.Percentile(0.5); got != 15 {
+		t.Errorf("delta P50 = %d, want 15", got)
+	}
+	// The receiver and the snapshot are unchanged by the delta query.
+	if h.Total() != 10 || snap.Total() != 4 {
+		t.Errorf("DeltaSince mutated inputs: h=%d snap=%d", h.Total(), snap.Total())
+	}
+	// Delta against an empty baseline is the full histogram.
+	var zero Histogram
+	if full := h.DeltaSince(&zero); full.Total() != 10 {
+		t.Errorf("delta from empty = %d, want 10", full.Total())
+	}
+}
+
+func TestSummaryDeltaSince(t *testing.T) {
+	var s Summary
+	for _, v := range []float64{2, 4, 6} {
+		s.Add(v)
+	}
+	snap := s // Summary is a value: a copy is a snapshot
+	for _, v := range []float64{10, 14} {
+		s.Add(v)
+	}
+	d := s.DeltaSince(snap)
+	if d.Count() != 2 {
+		t.Fatalf("delta count = %d, want 2", d.Count())
+	}
+	if math.Abs(d.Mean()-12) > 1e-9 {
+		t.Errorf("delta mean = %v, want 12", d.Mean())
+	}
+	if math.Abs(d.Variance()-4) > 1e-9 {
+		t.Errorf("delta variance = %v, want 4", d.Variance())
+	}
+	// Delta from an empty snapshot is the summary itself; an empty interval
+	// is an empty summary.
+	if full := s.DeltaSince(Summary{}); full.Count() != 5 || full.Mean() != s.Mean() {
+		t.Errorf("delta from empty wrong: %+v", full)
+	}
+	if e := s.DeltaSince(s); e.Count() != 0 || e.Mean() != 0 {
+		t.Errorf("empty interval not empty: %+v", e)
+	}
+}
+
 func TestHistogramMerge(t *testing.T) {
 	var a, b Histogram
 	a.ObserveN(2, 3)

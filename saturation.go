@@ -109,9 +109,15 @@ func (n *Network) saturationSearch(ctx context.Context, w Workload, cfg SessionC
 }
 
 // saturatedAt reports whether one measured point failed the sustained-rate
-// criteria.
+// criteria. Zero deliveries only indicate saturation when packets were
+// actually offered: a measurement window too short for any injection at a
+// very low rate is an empty sample, not a saturated network (treating it as
+// one would truncate the bracketing search at rate 0).
 func saturatedAt(res Result, sc SaturationConfig) bool {
-	if res.Deadlocked || res.Delivered == 0 {
+	if res.Deadlocked {
+		return true
+	}
+	if res.Injected > 0 && res.Delivered == 0 {
 		return true
 	}
 	if res.AvgLatencyNs > sc.LatencyCapNs {

@@ -46,6 +46,23 @@ type SessionConfig struct {
 	Threads int
 	// MaxCycles bounds a trace-driven run (default 40M network cycles).
 	MaxCycles int64
+
+	// TelemetryEvery is the interval, in network cycles, between the live
+	// snapshots streamed by Session.RunTelemetry or a WithTelemetry sink
+	// (default 1000). It has no effect until a sink is attached.
+	TelemetryEvery int64
+	// Gates schedules mid-run reconfiguration: each event gates a node off
+	// or back on at its absolute network cycle inside the running
+	// simulation (synthetic workloads on reconfigurable designs only).
+	// Scheduled runs are exclusive — they hold the network's write lock —
+	// and restore the starting alive mask on exit. Pair with telemetry to
+	// watch the latency transient a reconfiguration causes.
+	Gates []GateEvent
+
+	// onTelemetry, when set (WithTelemetry, RunTelemetry), receives the
+	// interval snapshots. Unexported: it never travels over the sweep wire
+	// protocol — remote workers report progress frames instead.
+	onTelemetry func(TelemetrySnapshot)
 }
 
 func (c *SessionConfig) fill() {
@@ -75,6 +92,9 @@ func (c *SessionConfig) fill() {
 	}
 	if c.MaxCycles <= 0 {
 		c.MaxCycles = 40_000_000
+	}
+	if c.TelemetryEvery <= 0 {
+		c.TelemetryEvery = 1000
 	}
 }
 
@@ -107,7 +127,21 @@ func (s *Session) Run(w Workload) (Result, error) {
 // simulation checks ctx between cycle chunks, so long trace runs and sweep
 // points abort promptly when the context is canceled (returning ctx.Err()).
 func (s *Session) RunContext(ctx context.Context, w Workload) (Result, error) {
-	res, err := w.run(ctx, s)
+	sess := s
+	if s.cfg.onTelemetry != nil {
+		// Stamp the run's identity onto every snapshot before it reaches
+		// the sink (inner wrappers — the sweep's point stamp — run after).
+		cfg := s.cfg
+		inner := cfg.onTelemetry
+		name, seed := w.Name(), cfg.Seed
+		cfg.onTelemetry = func(t TelemetrySnapshot) {
+			t.Workload = name
+			t.Seed = seed
+			inner(t)
+		}
+		sess = &Session{net: s.net, cfg: cfg}
+	}
+	res, err := w.run(ctx, sess)
 	if err != nil {
 		return Result{}, err
 	}
@@ -201,10 +235,14 @@ func runChunked(ctx context.Context, sim *netsim.Sim, cycles int64) error {
 // nodes as the source, so concentrated FB/AFB routers represent all their
 // nodes' traffic.
 func (n *Network) runSynthetic(ctx context.Context, cfg SessionConfig, pat traffic.Pattern) (Result, error) {
+	if len(cfg.Gates) > 0 {
+		return n.runSyntheticGated(ctx, cfg, pat)
+	}
 	n.mu.RLock()
 	defer n.mu.RUnlock()
 	simCfg := n.snapshotCfg(cfg)
 	simCfg.PacketFlits = cfg.PacketFlits
+	wireTelemetry(&simCfg, cfg, cfg.Rate, nil)
 	sim, err := netsim.New(simCfg)
 	if err != nil {
 		return Result{}, err
@@ -215,9 +253,28 @@ func (n *Network) runSynthetic(ctx context.Context, cfg SessionConfig, pat traff
 	if n.net != nil {
 		alive = n.net.AliveSlice()
 	}
-	nodeAlive := func(v int) bool { return alive == nil || alive[v] }
+	sim.SetPattern(cfg.Rate, n.hostedPattern(pat, func(v int) bool {
+		return alive == nil || alive[v]
+	}))
+	if err := runChunked(ctx, sim, cfg.Warmup); err != nil {
+		return Result{}, err
+	}
+	sim.ResetStats()
+	if err := runChunked(ctx, sim, cfg.Measure); err != nil {
+		return Result{}, err
+	}
+	return n.syntheticResult(sim.Results(), cfg.Rate), nil
+}
+
+// hostedPattern adapts a memory-node traffic pattern to router-level
+// injection: each injecting router picks the source uniformly among its
+// hosted nodes (so concentrated FB/AFB routers represent all their nodes'
+// traffic), filters by node liveness, and drops intra-router traffic.
+// nodeAlive is consulted per call, so scheduled (gated) runs pass a dynamic
+// lookup.
+func (n *Network) hostedPattern(pat traffic.Pattern, nodeAlive func(v int) bool) func(srcRouter int, rng *rand.Rand) (int, bool) {
 	hosted := n.d.RouterNodes
-	sim.SetPattern(cfg.Rate, func(srcRouter int, rng *rand.Rand) (int, bool) {
+	return func(srcRouter int, rng *rand.Rand) (int, bool) {
 		// Pick the source memory node among the router's hosted nodes.
 		nodes := hosted[srcRouter]
 		var src int
@@ -241,19 +298,17 @@ func (n *Network) runSynthetic(ctx context.Context, cfg SessionConfig, pat traff
 			return 0, false // intra-router traffic never enters the network
 		}
 		return dstRouter, true
-	})
-	if err := runChunked(ctx, sim, cfg.Warmup); err != nil {
-		return Result{}, err
 	}
-	sim.ResetStats()
-	if err := runChunked(ctx, sim, cfg.Measure); err != nil {
-		return Result{}, err
-	}
-	res := sim.Results()
+}
+
+// syntheticResult assembles the unified Result of one open-loop measured
+// window (shared by plain and gate-scheduled synthetic runs, which the
+// telemetry determinism tests compare field for field).
+func (n *Network) syntheticResult(res netsim.Results, rate float64) Result {
 	var em energy.Model
 	em.AddFlitHopsRadix(res.FlitHops, n.d.Ports)
 	return Result{
-		Rate:            cfg.Rate,
+		Rate:            rate,
 		Cycles:          res.Cycles,
 		Injected:        res.Injected,
 		Delivered:       res.Delivered,
@@ -267,7 +322,7 @@ func (n *Network) runSynthetic(ctx context.Context, cfg SessionConfig, pat traff
 		NetworkEnergyPJ: em.NetworkPJ(),
 		TotalEnergyPJ:   em.TotalPJ(),
 		EDP:             em.EDP(float64(res.Cycles) * netsim.CycleNs),
-	}, nil
+	}
 }
 
 // runTrace drives one closed-loop trace-driven co-simulation (the Figure 12
@@ -277,6 +332,9 @@ func (n *Network) runSynthetic(ctx context.Context, cfg SessionConfig, pat traff
 // Memory pages live on alive nodes (gating migrates them), and requests
 // travel at router granularity so the concentrated designs work unchanged.
 func (n *Network) runTrace(ctx context.Context, cfg SessionConfig, workload string) (Result, error) {
+	if len(cfg.Gates) > 0 {
+		return Result{}, fmt.Errorf("stringfigure: gate schedules require a synthetic workload (got trace %q)", workload)
+	}
 	n.mu.RLock()
 	defer n.mu.RUnlock()
 	var alive []bool
@@ -341,7 +399,17 @@ func (n *Network) runTrace(ctx context.Context, cfg SessionConfig, workload stri
 		traces[i] = tr.Ops
 	}
 	netCfg := n.snapshotCfg(cfg)
-	sys, err := memsys.Build(netCfg, pool, cpuNodes, cfg.Window, traces)
+	// The snapshot hook reaches through to the co-simulation for the
+	// memory-side occupancy; sys is assigned before any cycle runs, and
+	// callbacks fire on the simulating goroutine.
+	var sys *memsys.System
+	wireTelemetry(&netCfg, cfg, 0, func() int {
+		if sys == nil {
+			return 0
+		}
+		return sys.OutstandingReads()
+	})
+	sys, err = memsys.Build(netCfg, pool, cpuNodes, cfg.Window, traces)
 	if err != nil {
 		return Result{}, err
 	}

@@ -8,7 +8,11 @@ import (
 )
 
 // Point is one sweep coordinate: a workload at an injection rate. Rate is
-// ignored by closed-loop (trace-driven) workloads; use 0 there.
+// ignored by closed-loop (trace-driven) workloads; use 0 there. On open-loop
+// workloads, Rate <= 0 inherits the sweep config's rate (falling back to the
+// session default of 0.1) — a true near-zero run needs an explicit tiny
+// positive rate. Whatever rate the point effectively runs at is the rate its
+// streamed Result reports, on success, error and cancellation alike.
 type Point struct {
 	Workload Workload
 	Rate     float64
@@ -88,12 +92,7 @@ func (n *Network) SweepContext(ctx context.Context, cfg SessionConfig, points []
 			case <-ctx.Done():
 				// The point never dispatched; emit its cancellation result
 				// directly so the ordered stream stays complete.
-				p := points[i]
-				res := Result{Rate: p.Rate, Seed: pointSeedOf(cfg, p, i), Err: ctx.Err()}
-				if p.Workload != nil {
-					res.Workload = p.Workload.Name()
-				}
-				slots[i] <- res
+				slots[i] <- n.errResult(cfg, points[i], i, ctx.Err())
 			}
 		}
 		close(jobs)
@@ -118,16 +117,22 @@ func (n *Network) SweepContext(ctx context.Context, cfg SessionConfig, points []
 func (n *Network) runPoint(ctx context.Context, cfg SessionConfig, p Point, i int) Result {
 	pc := cfg
 	pc.Seed = pointSeedOf(cfg, p, i)
-	if p.Rate > 0 {
-		pc.Rate = p.Rate
+	pc.Rate = pointRateOf(cfg, p)
+	if pc.onTelemetry != nil {
+		// Stamp the point index onto the streamed snapshots so consumers
+		// can demultiplex a sweep's concurrent telemetry.
+		inner := pc.onTelemetry
+		pc.onTelemetry = func(t TelemetrySnapshot) {
+			t.Point = i
+			inner(t)
+		}
 	}
 	if p.Workload == nil {
-		return Result{Seed: pc.Seed, Rate: p.Rate,
-			Err: fmt.Errorf("stringfigure: sweep point %d has no workload", i)}
+		return n.errResult(cfg, p, i, fmt.Errorf("stringfigure: sweep point %d has no workload", i))
 	}
 	res, err := n.NewSession(pc).RunContext(ctx, p.Workload)
 	if err != nil {
-		res = Result{Workload: p.Workload.Name(), Rate: p.Rate, Seed: pc.Seed, Err: err}
+		res = n.errResult(cfg, p, i, err)
 	}
 	return res
 }
@@ -139,6 +144,30 @@ func pointSeedOf(cfg SessionConfig, p Point, i int) int64 {
 		return p.Seed
 	}
 	return PointSeed(cfg.Seed, i)
+}
+
+// pointRateOf resolves the injection rate point p effectively runs at: its
+// own when positive, otherwise the sweep config's (with the session default
+// as the final fallback). This single derivation feeds the session AND every
+// Result identity — success, error and cancellation — so a Point{Rate: 0}
+// can no longer run at one rate while reporting another. Closed-loop trace
+// points report rate 0 (see reportedRate).
+func pointRateOf(cfg SessionConfig, p Point) float64 {
+	if p.Rate > 0 {
+		return p.Rate
+	}
+	cfg.fill()
+	return cfg.Rate
+}
+
+// reportedRate is the rate a point's Result identifies itself with: the
+// effective rate for open-loop workloads, 0 for closed-loop trace replays
+// (matching what a successful run reports).
+func reportedRate(cfg SessionConfig, p Point) float64 {
+	if _, closedLoop := p.Workload.(TraceWorkload); closedLoop {
+		return 0
+	}
+	return pointRateOf(cfg, p)
 }
 
 // SweepAll runs Sweep and collects the streamed results into a slice,

@@ -1,0 +1,117 @@
+package stringfigure
+
+// Regression tests for the sweep/saturation correctness pass: the rate a
+// point effectively runs at is authoritative in every streamed Result, and
+// an empty measurement window (no injections) is never mistaken for
+// saturation. Internal test package: saturatedAt is deliberately unexported.
+
+import (
+	"context"
+	"reflect"
+	"testing"
+)
+
+func TestSaturatedAtRequiresInjections(t *testing.T) {
+	var sc SaturationConfig
+	sc.fill()
+	// An empty window — nothing offered, nothing delivered — is not a
+	// saturated network (pre-fix this returned true and truncated every
+	// low-rate bracketing search at rate 0).
+	if saturatedAt(Result{Injected: 0, Delivered: 0}, sc) {
+		t.Error("empty window (no injections) treated as saturation")
+	}
+	if !saturatedAt(Result{Injected: 10, Delivered: 0}, sc) {
+		t.Error("zero deliveries under offered load must saturate")
+	}
+	if !saturatedAt(Result{Deadlocked: true}, sc) {
+		t.Error("deadlock must saturate")
+	}
+	if !saturatedAt(Result{Injected: 100, Delivered: 60, AvgLatencyNs: 1}, sc) {
+		t.Error("delivered fraction below MinDelivered must saturate")
+	}
+	if saturatedAt(Result{Injected: 100, Delivered: 99, AvgLatencyNs: 1}, sc) {
+		t.Error("healthy point reported as saturated")
+	}
+}
+
+func TestSaturationSurvivesTinyMeasureWindow(t *testing.T) {
+	// A 1-cycle measurement window can never deliver a packet (one link
+	// alone takes 2 cycles) and at low rates often injects nothing either.
+	// The bracketing search must march past the empty windows instead of
+	// declaring saturation at rate 0.
+	net, err := New(WithNodes(16), WithSeed(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := SessionConfig{Warmup: 50, Measure: 1, Seed: 1}
+	sat, err := net.Saturation(SyntheticWorkload{Pattern: "uniform"}, cfg,
+		SaturationConfig{Step: 0.05, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sat <= 0 {
+		t.Errorf("saturation = %v with a 1-cycle window, want > 0 (empty windows are not saturation)", sat)
+	}
+}
+
+func TestSweepPointRateAuthoritative(t *testing.T) {
+	net, err := New(WithNodes(16), WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := SessionConfig{Rate: 0.25, Warmup: 100, Measure: 300, Seed: 1}
+
+	// Success path: a Point{Rate: 0} inherits the sweep's base rate, and
+	// its Result is bit-identical to spelling the rate out on the point.
+	inherit := net.SweepAll(cfg, []Point{{Workload: SyntheticWorkload{Pattern: "uniform"}}}, 1)
+	explicit := net.SweepAll(cfg, []Point{{Workload: SyntheticWorkload{Pattern: "uniform"}, Rate: 0.25}}, 1)
+	if inherit[0].Err != nil || explicit[0].Err != nil {
+		t.Fatalf("points errored: %v / %v", inherit[0].Err, explicit[0].Err)
+	}
+	if !reflect.DeepEqual(inherit, explicit) {
+		t.Errorf("Point{Rate: 0} differs from explicit cfg rate:\ninherit:  %+v\nexplicit: %+v",
+			inherit[0], explicit[0])
+	}
+	if inherit[0].Rate != 0.25 {
+		t.Errorf("inherited rate reported as %v, want 0.25", inherit[0].Rate)
+	}
+
+	// Error path: a failing point identifies itself at the rate it would
+	// have run, not at the possibly-zero Point.Rate.
+	bad := net.SweepAll(cfg, []Point{{Workload: SyntheticWorkload{Pattern: "bogus"}}}, 1)
+	if bad[0].Err == nil {
+		t.Fatal("bogus pattern did not error")
+	}
+	if bad[0].Rate != 0.25 {
+		t.Errorf("errored point rate = %v, want effective 0.25", bad[0].Rate)
+	}
+
+	// Cancellation path: undispatched and aborted points alike report the
+	// effective rate; closed-loop trace points keep reporting 0 (matching
+	// their successful runs).
+	points := []Point{
+		{Workload: SyntheticWorkload{Pattern: "uniform"}},
+		{Workload: SyntheticWorkload{Pattern: "uniform"}, Rate: 0.4},
+		{Workload: TraceWorkload{Workload: "grep"}},
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res := net.SweepAllContext(ctx, cfg, points, 2)
+	if len(res) != len(points) {
+		t.Fatalf("results = %d, want %d", len(res), len(points))
+	}
+	for i, r := range res {
+		if r.Err == nil {
+			t.Fatalf("point %d of canceled sweep did not error: %+v", i, r)
+		}
+	}
+	if res[0].Rate != 0.25 {
+		t.Errorf("canceled inherit-rate point reports %v, want 0.25", res[0].Rate)
+	}
+	if res[1].Rate != 0.4 {
+		t.Errorf("canceled explicit-rate point reports %v, want 0.4", res[1].Rate)
+	}
+	if res[2].Rate != 0 {
+		t.Errorf("canceled trace point reports rate %v, want 0", res[2].Rate)
+	}
+}

@@ -1,0 +1,387 @@
+package stringfigure
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"repro/internal/netsim"
+	"repro/internal/traffic"
+)
+
+// TelemetrySnapshot is one live interval record streamed out of a running
+// session: the traffic observed since the previous snapshot (not cumulative
+// totals), stamped with the run's identity. Snapshots are emitted every
+// SessionConfig.TelemetryEvery network cycles, during warm-up and the
+// measured window alike (compare Cycle against the config's Warmup to tell
+// them apart). Attaching telemetry never perturbs simulation state: final
+// Results are bit-identical with and without a sink.
+//
+// The field set serializes to the NDJSON schema written by
+// `sfexp -telemetry` (one snapshot per line).
+type TelemetrySnapshot struct {
+	// Workload, Rate and Seed identify the run; Rate is 0 for closed-loop
+	// (trace-driven) runs. Point is the sweep point index when the snapshot
+	// was streamed out of a Sweep, -1 for standalone sessions.
+	Workload string  `json:"workload"`
+	Rate     float64 `json:"rate"`
+	Seed     int64   `json:"seed"`
+	Point    int     `json:"point"`
+
+	// Cycle is the absolute network cycle at emission; IntervalCycles is
+	// the window this snapshot covers (shorter than TelemetryEvery only
+	// for the first snapshot after the warm-up stats reset).
+	Cycle          int64 `json:"cycle"`
+	IntervalCycles int64 `json:"interval_cycles"`
+
+	Injected      int64   `json:"injected"`
+	Delivered     int64   `json:"delivered"`
+	AvgLatencyNs  float64 `json:"avg_latency_ns"`
+	P90LatencyNs  float64 `json:"p90_latency_ns"`
+	ThroughputFPC float64 `json:"throughput_fpc"`
+	Escaped       int64   `json:"escaped"`
+	Dropped       int64   `json:"dropped"`
+
+	// InFlight is the flit occupancy of the network at emission;
+	// OutstandingReads is the memory-side read occupancy (trace runs only).
+	InFlight         int `json:"in_flight"`
+	OutstandingReads int `json:"outstanding_reads,omitempty"`
+}
+
+// GateEvent schedules one reconfiguration inside a running session: at the
+// absolute network cycle (warm-up starts at cycle 0) the node is gated off
+// or back on, mid-simulation — the transient-response scenario behind the
+// paper's elasticity story. See SessionConfig.Gates.
+//
+// Timing follows the four-step protocol (Section VI): a gate-off applies at
+// its scheduled cycle, with the healing shortcut wires charged the 5 us
+// link wake latency under live traffic (the latency spike); a gate-on takes
+// effect one link wake latency AFTER its scheduled cycle, because the
+// returning node's links must wake before its table entries revalidate.
+type GateEvent struct {
+	Cycle int64
+	Node  int
+	On    bool // false gates the node off, true powers it back on
+}
+
+// WithTelemetry returns a copy of the config with a live snapshot sink
+// attached: every run under the returned config emits a TelemetrySnapshot to
+// sink every `every` cycles (0 keeps the config's TelemetryEvery, default
+// 1000). The sink runs synchronously on the simulating goroutine; sweeps
+// call it from every worker concurrently, so it must be safe for concurrent
+// use. Session.RunTelemetry is the channel-based alternative for single
+// runs.
+func (c SessionConfig) WithTelemetry(every int64, sink func(TelemetrySnapshot)) SessionConfig {
+	if every > 0 {
+		c.TelemetryEvery = every
+	}
+	c.onTelemetry = sink
+	return c
+}
+
+// RunTelemetry executes the workload like RunContext while streaming
+// interval snapshots: the first channel carries one TelemetrySnapshot per
+// TelemetryEvery cycles and closes when the run ends; the second carries the
+// final Result (with Err set instead of a separate error return, as in
+// Sweep) and is buffered, so `for snap := range snaps { ... }; res := <-done`
+// is the canonical consumption order. Drain the snapshot channel — or cancel
+// ctx — or the run stalls on the backpressured stream.
+//
+// Telemetry is observational: the final Result is bit-identical to a plain
+// RunContext of the same session.
+func (s *Session) RunTelemetry(ctx context.Context, w Workload) (<-chan TelemetrySnapshot, <-chan Result) {
+	snaps := make(chan TelemetrySnapshot, 16)
+	done := make(chan Result, 1)
+	cfg := s.cfg
+	prev := cfg.onTelemetry
+	cfg.onTelemetry = func(t TelemetrySnapshot) {
+		if prev != nil {
+			prev(t)
+		}
+		select {
+		case snaps <- t:
+		case <-ctx.Done():
+		}
+	}
+	sess := &Session{net: s.net, cfg: cfg}
+	go func() {
+		defer close(done)
+		res, err := sess.RunContext(ctx, w)
+		if err != nil {
+			res = Result{Workload: w.Name(), Seed: cfg.Seed, Err: err}
+			if _, closedLoop := w.(TraceWorkload); !closedLoop {
+				res.Rate = cfg.Rate
+			}
+		}
+		close(snaps)
+		done <- res
+	}()
+	return snaps, done
+}
+
+// telemetryOf lifts a simulator interval snapshot into the public record
+// (cycles become nanoseconds at the 312.5 MHz network clock). Point is -1
+// until a sweep stamps its index.
+func telemetryOf(ns netsim.Snapshot, rate float64) TelemetrySnapshot {
+	return TelemetrySnapshot{
+		Rate:           rate,
+		Point:          -1,
+		Cycle:          ns.Cycle,
+		IntervalCycles: ns.IntervalCycles,
+		Injected:       ns.Injected,
+		Delivered:      ns.Delivered,
+		AvgLatencyNs:   ns.AvgLatencyCycles * netsim.CycleNs,
+		P90LatencyNs:   float64(ns.P90LatencyCycles) * netsim.CycleNs,
+		ThroughputFPC:  ns.ThroughputFPC,
+		Escaped:        ns.Escaped,
+		Dropped:        ns.Dropped,
+		InFlight:       ns.InFlight,
+	}
+}
+
+// runSyntheticGated is runSynthetic for sessions with a gate schedule: the
+// run takes the network's write lock (reconfiguration is part of the run, so
+// it is exclusive), builds the simulator over the union of the physical
+// wires every phase of the schedule activates, and applies each GateEvent to
+// the live routing tables at its cycle — packets already in flight route
+// around the change (or divert to the escape subnetwork, or drop as
+// unroutable), which is exactly the transient the telemetry stream watches.
+// The starting alive mask is restored on exit: a session run never
+// permanently reconfigures its network.
+func (n *Network) runSyntheticGated(ctx context.Context, cfg SessionConfig, pat traffic.Pattern) (Result, error) {
+	if n.net == nil {
+		return Result{}, fmt.Errorf("%w: gate schedule on %s", ErrNotReconfigurable, n.d.Name)
+	}
+	total := cfg.Warmup + cfg.Measure
+	// Asymmetric timing, after the paper's four-step protocol (Section VI):
+	// gating OFF applies at its scheduled cycle — the node vanishes from
+	// the tables and the healing shortcut wires wake up under live traffic
+	// (the 5 us wake latency is charged on those links, which is what the
+	// GateOff latency transient is made of). Gating ON applies one link
+	// wake latency AFTER its scheduled cycle: a returning node only
+	// rejoins the tables once its links are awake and validated, so
+	// recovery is a clean switch instead of a stall on sleeping links.
+	wakeCycles := int64(n.net.Timing.LinkWakeNs / netsim.CycleNs)
+	events := make([]GateEvent, 0, len(cfg.Gates))
+	for _, ev := range cfg.Gates {
+		if ev.On {
+			ev.Cycle += wakeCycles
+		}
+		if ev.Cycle < total { // events past the run never fire
+			events = append(events, ev)
+		}
+	}
+	sort.SliceStable(events, func(i, j int) bool { return events[i].Cycle < events[j].Cycle })
+
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	start := n.net.AliveSlice()
+
+	// Validate the schedule and collect every alive mask it passes through.
+	cur := append([]bool(nil), start...)
+	masks := [][]bool{start}
+	aliveCount := len(start)
+	for _, a := range start {
+		if !a {
+			aliveCount--
+		}
+	}
+	for _, ev := range events {
+		if ev.Cycle < 0 || ev.Node < 0 || ev.Node >= n.d.N {
+			return Result{}, fmt.Errorf("%w: gate event %+v", ErrOutOfRange, ev)
+		}
+		if cur[ev.Node] == ev.On {
+			return Result{}, fmt.Errorf("stringfigure: gate event at cycle %d: node %d already %s",
+				ev.Cycle, ev.Node, map[bool]string{true: "on", false: "off"}[ev.On])
+		}
+		if !ev.On && aliveCount <= 2 {
+			return Result{}, fmt.Errorf("stringfigure: gate event at cycle %d would drop below two alive nodes", ev.Cycle)
+		}
+		cur[ev.Node] = ev.On
+		if ev.On {
+			aliveCount++
+		} else {
+			aliveCount--
+		}
+		masks = append(masks, append([]bool(nil), cur...))
+	}
+
+	// The simulator's physical link set is the union over every phase: all
+	// wires any phase activates exist from cycle 0 (they are pre-provisioned
+	// shortcuts or switched links); which ones carry traffic at any moment
+	// is governed by the live routing tables.
+	adjs := make([][][]int, len(masks))
+	union := make([]map[int]bool, n.d.Routers)
+	for i := range union {
+		union[i] = make(map[int]bool)
+	}
+	for mi, m := range masks {
+		adjs[mi] = n.net.AdjacencyFor(m)
+		for u, nbrs := range adjs[mi] {
+			for _, v := range nbrs {
+				union[u][v] = true
+			}
+		}
+	}
+	out := make([][]int, n.d.Routers)
+	for u, set := range union {
+		nbrs := make([]int, 0, len(set))
+		for v := range set {
+			nbrs = append(nbrs, v)
+		}
+		sort.Ints(nbrs)
+		out[u] = nbrs
+	}
+
+	// The escape function declines packets whose destination is gated off
+	// (returning a non-link): they are permanently undeliverable, and the
+	// simulator drops them as unroutable — letting them commit to the
+	// escape ring instead would have them circulate forever, eventually
+	// clogging the escape channels and wedging the whole network.
+	escapeFor := func(alive []bool) func(cur, dst int) (int, int) {
+		ring := netsim.RingEscape(n.d.SF, alive)
+		return func(cur, dst int) (int, int) {
+			if !alive[dst] {
+				return -1, 0
+			}
+			return ring(cur, dst)
+		}
+	}
+
+	simCfg := netsim.SFConfig(n.d.SF, cfg.Seed)
+	simCfg.Out = out
+	simCfg.Alg = n.net.Router
+	simCfg.VCPolicy = n.net.Router.VirtualChannel
+	simCfg.EscapeRoute = escapeFor(start)
+	if cfg.AdaptiveThreshold > 0 {
+		simCfg.AdaptiveThreshold = cfg.AdaptiveThreshold
+	}
+	simCfg.PacketFlits = cfg.PacketFlits
+	wireTelemetry(&simCfg, cfg, cfg.Rate, nil)
+	sim, err := netsim.New(simCfg)
+	if err != nil {
+		return Result{}, err
+	}
+
+	// Injection liveness follows the schedule: gated nodes neither source
+	// nor sink new traffic from the moment their event applies (aliveNow is
+	// swapped by apply, so the lookup is dynamic).
+	aliveNow := start
+	sim.SetPattern(cfg.Rate, n.hostedPattern(pat, func(v int) bool { return aliveNow[v] }))
+
+	// Links a gate-OFF switches on (ring healing) take the wake-up latency
+	// before carrying traffic: flits routed onto a still waking link are
+	// charged its remaining wake time, which is the mechanism behind the
+	// post-GateOff latency transient the telemetry stream watches.
+	wake := make(map[[2]int]int64)
+	sim.SetLinkLatency(func(u, v int) int {
+		l := netsim.DefaultLinkLatency
+		if until, ok := wake[[2]int{u, v}]; ok {
+			if d := until - sim.Cycle(); d > 0 {
+				l += int(d)
+			}
+		}
+		return l
+	})
+
+	// Restore the starting mask however the run ends.
+	defer func() {
+		now := n.net.AliveSlice()
+		for i := range now {
+			if now[i] != start[i] {
+				n.net.SetAlive(start)
+				return
+			}
+		}
+	}()
+
+	apply := func(idx int) error {
+		ev := events[idx]
+		var err error
+		if ev.On {
+			err = n.net.GateOn(ev.Node)
+		} else {
+			err = n.net.GateOff(ev.Node)
+		}
+		if err != nil {
+			return err
+		}
+		aliveNow = n.net.AliveSlice()
+		sim.SetEscapeRoute(escapeFor(aliveNow))
+		// Links enabled by a gate-OFF (ring healing) start waking now, under
+		// live traffic; a gate-ON was already deferred past its links' wake.
+		if !ev.On {
+			old := adjs[idx]
+			for u, nbrs := range adjs[idx+1] {
+				was := make(map[int]bool, len(old[u]))
+				for _, v := range old[u] {
+					was[v] = true
+				}
+				for _, v := range nbrs {
+					if !was[v] {
+						wake[[2]int{u, v}] = sim.Cycle() + wakeCycles
+					}
+				}
+			}
+		}
+		return nil
+	}
+	runTo := func(target int64) error {
+		for sim.Cycle() < target {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			step := target - sim.Cycle()
+			if step > simChunk {
+				step = simChunk
+			}
+			sim.Run(step)
+		}
+		return nil
+	}
+
+	pos := 0
+	for ; pos < len(events) && events[pos].Cycle < cfg.Warmup; pos++ {
+		if err := runTo(events[pos].Cycle); err != nil {
+			return Result{}, err
+		}
+		if err := apply(pos); err != nil {
+			return Result{}, err
+		}
+	}
+	if err := runTo(cfg.Warmup); err != nil {
+		return Result{}, err
+	}
+	sim.ResetStats()
+	for ; pos < len(events); pos++ {
+		if err := runTo(events[pos].Cycle); err != nil {
+			return Result{}, err
+		}
+		if err := apply(pos); err != nil {
+			return Result{}, err
+		}
+	}
+	if err := runTo(total); err != nil {
+		return Result{}, err
+	}
+
+	return n.syntheticResult(sim.Results(), cfg.Rate), nil
+}
+
+// wireTelemetry connects a session's telemetry sink (if any) to a simulator
+// configuration. occupancy, when non-nil, supplies the memory-side
+// outstanding-read count for trace runs.
+func wireTelemetry(simCfg *netsim.Config, cfg SessionConfig, rate float64, occupancy func() int) {
+	if cfg.onTelemetry == nil || cfg.TelemetryEvery <= 0 {
+		return
+	}
+	sink := cfg.onTelemetry
+	simCfg.SnapshotEvery = cfg.TelemetryEvery
+	simCfg.OnSnapshot = func(ns netsim.Snapshot) {
+		t := telemetryOf(ns, rate)
+		if occupancy != nil {
+			t.OutstandingReads = occupancy()
+		}
+		sink(t)
+	}
+}

@@ -1,0 +1,208 @@
+package stringfigure_test
+
+// Live-telemetry tests: RunTelemetry streams interval snapshots without
+// perturbing results (bit-identical final Results with and without a sink),
+// sweeps stamp point indices onto concurrent streams, and a mid-run gate
+// schedule produces the paper's reconfiguration transient — P90 latency
+// rises after GateOff and recovers after GateOn — visible in the stream.
+
+import (
+	"context"
+	"reflect"
+	"sync"
+	"testing"
+
+	. "repro"
+)
+
+func TestRunTelemetryStreamsSnapshots(t *testing.T) {
+	net, err := New(WithNodes(32), WithSeed(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := SessionConfig{Rate: 0.1, Warmup: 1000, Measure: 4000, Seed: 2}
+	snaps, done := net.NewSession(cfg).RunTelemetry(context.Background(),
+		SyntheticWorkload{Pattern: "uniform"})
+	var got []TelemetrySnapshot
+	for s := range snaps {
+		got = append(got, s)
+	}
+	res := <-done
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	// 5000 cycles at the default 1000-cycle interval: 5 snapshots, of which
+	// the 4000-cycle measured window contributes at least 2.
+	if len(got) != 5 {
+		t.Fatalf("snapshots = %d, want 5", len(got))
+	}
+	measured := 0
+	for i, s := range got {
+		if s.Workload != "uniform" || s.Seed != 2 || s.Rate != 0.1 || s.Point != -1 {
+			t.Errorf("snapshot %d identity wrong: %+v", i, s)
+		}
+		if s.Cycle != int64(i+1)*1000 || s.IntervalCycles != 1000 {
+			t.Errorf("snapshot %d cadence wrong: cycle=%d interval=%d", i, s.Cycle, s.IntervalCycles)
+		}
+		if s.Cycle > cfg.Warmup {
+			measured++
+			if s.Delivered == 0 || s.AvgLatencyNs <= 0 || s.P90LatencyNs <= 0 || s.ThroughputFPC <= 0 {
+				t.Errorf("measured snapshot %d idle: %+v", i, s)
+			}
+		}
+	}
+	if measured < 2 {
+		t.Errorf("measured-window snapshots = %d, want >= 2", measured)
+	}
+
+	// The final Result is bit-identical to a plain run of the same session.
+	plain, err := net.NewSession(cfg).Run(SyntheticWorkload{Pattern: "uniform"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res, plain) {
+		t.Errorf("telemetry perturbed the run:\nwith:    %+v\nwithout: %+v", res, plain)
+	}
+}
+
+func TestRunTelemetryTraceWorkload(t *testing.T) {
+	net, err := New(WithNodes(16), WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := SessionConfig{Ops: 400, Sockets: 2, Window: 8, MaxCycles: 10_000_000,
+		Seed: 1, TelemetryEvery: 500}
+	snaps, done := net.NewSession(cfg).RunTelemetry(context.Background(),
+		TraceWorkload{Workload: "grep"})
+	var got []TelemetrySnapshot
+	for s := range snaps {
+		got = append(got, s)
+	}
+	res := <-done
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if len(got) == 0 {
+		t.Fatal("trace run emitted no snapshots")
+	}
+	sawReads := false
+	for _, s := range got {
+		if s.Workload != "grep" || s.Rate != 0 {
+			t.Fatalf("trace snapshot identity wrong: %+v", s)
+		}
+		if s.OutstandingReads > 0 {
+			sawReads = true
+		}
+	}
+	if !sawReads {
+		t.Error("no snapshot observed memory-side occupancy (OutstandingReads)")
+	}
+	plain, err := net.NewSession(cfg).Run(TraceWorkload{Workload: "grep"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res, plain) {
+		t.Errorf("telemetry perturbed the trace run:\nwith:    %+v\nwithout: %+v", res, plain)
+	}
+}
+
+func TestSweepTelemetryStampsPointsAndStaysBitIdentical(t *testing.T) {
+	net, err := New(WithNodes(32), WithSeed(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	points := RateSweep(SyntheticWorkload{Pattern: "uniform"}, []float64{0.05, 0.1, 0.15})
+	points = append(points, Point{Workload: TraceWorkload{Workload: "grep"}})
+	base := SessionConfig{Warmup: 400, Measure: 1200,
+		Ops: 300, Sockets: 2, Window: 8, MaxCycles: 10_000_000, Seed: 1}
+
+	var mu sync.Mutex
+	seen := make(map[int]int) // point index -> snapshots
+	cfg := base.WithTelemetry(400, func(s TelemetrySnapshot) {
+		mu.Lock()
+		seen[s.Point]++
+		mu.Unlock()
+	})
+	with := net.SweepAll(cfg, points, 4)
+	without := net.SweepAll(base, points, 4)
+	if !reflect.DeepEqual(with, without) {
+		t.Errorf("telemetry sink changed sweep results:\nwith:    %+v\nwithout: %+v", with, without)
+	}
+	for i := range points {
+		if seen[i] == 0 {
+			t.Errorf("point %d streamed no snapshots", i)
+		}
+	}
+	if seen[-1] != 0 {
+		t.Errorf("%d snapshots missed their point stamp", seen[-1])
+	}
+}
+
+func TestGatingTransientTelemetry(t *testing.T) {
+	// The reconfiguration story, time-resolved: gate a quadrant off
+	// mid-run and the snapshot stream shows the latency transient — P90
+	// spikes after GateOff while the healed shortcut links wake up (the
+	// paper's 5 us link wake latency) and in-flight packets divert to the
+	// escape subnetwork, settles, spikes again at GateOn, and recovers to
+	// the full-network steady state.
+	net, err := New(WithNodes(32), WithSeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	quadrant := []int{8, 9, 10, 11, 12, 13, 14, 15}
+	var gates []GateEvent
+	for _, v := range quadrant {
+		gates = append(gates, GateEvent{Cycle: 4000, Node: v, On: false})
+	}
+	for _, v := range quadrant {
+		gates = append(gates, GateEvent{Cycle: 8000, Node: v, On: true})
+	}
+	cfg := SessionConfig{Rate: 0.1, Warmup: 1000, Measure: 12000, Seed: 3,
+		TelemetryEvery: 500, Gates: gates}
+	snaps, done := net.NewSession(cfg).RunTelemetry(context.Background(),
+		SyntheticWorkload{Pattern: "uniform"})
+	var collected []TelemetrySnapshot
+	for s := range snaps {
+		collected = append(collected, s)
+	}
+	res := <-done
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	maxP90 := func(lo, hi int64) float64 {
+		max := 0.0
+		for _, s := range collected {
+			if s.Cycle > lo && s.Cycle <= hi && s.P90LatencyNs > max {
+				max = s.P90LatencyNs
+			}
+		}
+		return max
+	}
+	before := maxP90(1000, 4000)      // steady state, full network
+	spike := maxP90(4000, 6500)       // GateOff transient: wake-up + escapes
+	recovered := maxP90(11500, 13000) // well after the GateOn transient
+	t.Logf("P90 ns: before=%.1f gateoff-spike=%.1f recovered=%.1f", before, spike, recovered)
+	if before <= 0 || spike <= 0 || recovered <= 0 {
+		t.Fatalf("empty phase buckets: before=%v spike=%v recovered=%v", before, spike, recovered)
+	}
+	if spike <= before*3 {
+		t.Errorf("P90 did not rise after GateOff: before=%.1f spike=%.1f", before, spike)
+	}
+	if recovered >= spike*0.2 {
+		t.Errorf("P90 did not recover after GateOn: spike=%.1f recovered=%.1f", spike, recovered)
+	}
+	if recovered > before*2 {
+		t.Errorf("recovered P90 %.1f not back near pre-gate baseline %.1f", recovered, before)
+	}
+	// Escape diversions are part of the transient; the run must survive it.
+	if res.Escaped == 0 {
+		t.Error("transient produced no escape diversions")
+	}
+	if res.Deadlocked {
+		t.Error("scheduled run deadlocked")
+	}
+	// The schedule must not leak: the session restores the starting mask.
+	if net.AliveCount() != 32 {
+		t.Errorf("alive count after scheduled run = %d, want 32", net.AliveCount())
+	}
+}
