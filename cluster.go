@@ -115,6 +115,11 @@ type WorkerOptions struct {
 	// covering the bring-up order where workers launch before the
 	// coordinator listens (default: one attempt only).
 	DialRetry time.Duration
+	// Metrics, when set, observes every job's interval snapshots into the
+	// worker's own /metrics endpoint (cmd/sfworker -metrics), whether or
+	// not the coordinator asked for the snapshots forwarded. Attaching it
+	// never perturbs results — snapshots are observational.
+	Metrics *MetricsServer
 }
 
 // ServeWorker dials a cluster coordinator and serves sweep points until
@@ -132,15 +137,21 @@ func ServeWorker(ctx context.Context, addr string, o WorkerOptions) error {
 		return fmt.Errorf("stringfigure: worker dial %s: %w", addr, err)
 	}
 	cache := &netCache{nets: make(map[string]*Network)}
+	if o.Metrics != nil {
+		cache.observe = o.Metrics.Observe
+	}
 	return dist.Serve(ctx, conn, o.Parallel, cache.runJob, dist.Config{})
 }
 
 // netCache reuses worker-side networks across the jobs of a sweep (and
 // across sweeps over the same network — a saturation search issues many
-// waves against one spec).
+// waves against one spec). observe, when set, is the worker's own local
+// telemetry sink (WorkerOptions.Metrics): it sees every job's interval
+// snapshots whether or not the coordinator asked for them forwarded.
 type netCache struct {
-	mu   sync.Mutex
-	nets map[string]*Network
+	mu      sync.Mutex
+	nets    map[string]*Network
+	observe func(TelemetrySnapshot)
 }
 
 // cacheCap bounds the worker's resident networks; a coordinator cycling
@@ -170,8 +181,12 @@ func (c *netCache) get(spec networkSpec) (*Network, error) {
 }
 
 // runJob is the worker-side executor: decode the job, rebuild (or reuse)
-// the network, run the point through the exact in-process code path.
-func (c *netCache) runJob(ctx context.Context, payload []byte) ([]byte, error) {
+// the network, run the point through the exact in-process code path. Jobs
+// dispatched with Telemetry get a batching snapshot sink whose batches
+// travel back as dist snapshot frames; the coordinator unpacks them into
+// the sweep's local telemetry sink. Every local sink of this worker
+// (o.Metrics in ServeWorker) observes the same stream.
+func (c *netCache) runJob(ctx context.Context, payload []byte, emit func([]byte)) ([]byte, error) {
 	var job wireJob
 	if err := decodeWire(payload, &job); err != nil {
 		return nil, fmt.Errorf("stringfigure: worker decode job: %w", err)
@@ -184,6 +199,42 @@ func (c *netCache) runJob(ctx context.Context, payload []byte) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	res := net.runPoint(ctx, job.Cfg, p, job.Index)
+	cfg := job.Cfg
+	var flush func()
+	if localSink := c.observe; job.Telemetry && emit != nil || localSink != nil {
+		// One point's snapshots are produced sequentially on its simulating
+		// goroutine, so the batch needs no lock; the emitted frames inherit
+		// the connection's write ordering.
+		var batch []TelemetrySnapshot
+		forward := job.Telemetry && emit != nil
+		send := func() {
+			if len(batch) == 0 {
+				return
+			}
+			if b, err := encodeWire(wireSnapshotBatch{Snaps: batch}); err == nil {
+				emit(b)
+			}
+			batch = batch[:0]
+		}
+		cfg = cfg.WithTelemetry(cfg.TelemetryEvery, func(t TelemetrySnapshot) {
+			if localSink != nil {
+				localSink(t)
+			}
+			if !forward {
+				return
+			}
+			batch = append(batch, t)
+			if len(batch) >= snapshotBatchMax {
+				send()
+			}
+		})
+		if forward {
+			flush = send
+		}
+	}
+	res := net.runPoint(ctx, cfg, p, job.Index)
+	if flush != nil {
+		flush()
+	}
 	return encodeWire(resultToWire(res))
 }

@@ -12,6 +12,11 @@
 // telemetry: one {"type":"interval",...} record per per-point snapshot
 // interval, and — when -listen is active — one {"type":"progress",...}
 // record per worker per second while sweeps drain.
+//
+// With -metrics ADDR, the same interval stream feeds a Prometheus-text
+// /metrics endpoint (scrape http://ADDR/metrics); combined with -listen
+// the endpoint also exports per-worker cluster liveness, and remote
+// workers' snapshots are forwarded over the wire into the same counters.
 package main
 
 import (
@@ -107,8 +112,21 @@ func main() {
 		listen    = flag.String("listen", "", "run as a distributed-sweep coordinator on this address (host:port); cmd/sfworker processes dial it and figure sweeps fan across them")
 		workers   = flag.Int("workers", 0, "with -listen: wait for this many workers to connect before running (0 = start immediately, workers may join mid-run)")
 		telemetry = flag.String("telemetry", "", "stream live NDJSON telemetry (interval snapshots; with -listen also per-worker progress) to this file")
+		metricsAt = flag.String("metrics", "", "serve a Prometheus-text /metrics endpoint on this address (host:port) fed by the public-API sweeps; with -listen it also exports per-worker cluster liveness")
 	)
 	flag.Parse()
+
+	var ms *stringfigure.MetricsServer
+	if *metricsAt != "" {
+		var err error
+		ms, err = stringfigure.ServeMetrics(*metricsAt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sfexp: %v\n", err)
+			os.Exit(1)
+		}
+		defer ms.Close()
+		fmt.Printf("sfexp: serving metrics at http://%s/metrics\n", ms.Addr())
+	}
 
 	var tw *telemetryWriter
 	if *telemetry != "" {
@@ -138,6 +156,9 @@ func main() {
 		}
 		defer cluster.Close()
 		experiments.UseCluster(cluster)
+		if ms != nil {
+			ms.WatchCluster(cluster)
+		}
 		if *workers > 0 {
 			fmt.Printf("sfexp: coordinator on %s, waiting for %d workers...\n", cluster.Addr(), *workers)
 			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
@@ -317,13 +338,19 @@ func main() {
 		}
 		rates := []float64{0.05, 0.10, 0.15, 0.20, 0.25, 0.30, 0.40, 0.50}
 		cfg := stringfigure.SessionConfig{Warmup: sc.Warmup, Measure: sc.Measure, Seed: *seed}
-		if tw != nil {
+		if tw != nil || ms != nil {
 			// Several interval records per point, even at -quick budgets.
 			every := (sc.Warmup + sc.Measure) / 8
 			if every < 1 {
 				every = 1
 			}
-			cfg = cfg.WithTelemetry(every, tw.interval)
+			cfg.TelemetryEvery = every
+		}
+		if tw != nil {
+			cfg = cfg.WithTelemetry(0, tw.interval)
+		}
+		if ms != nil {
+			cfg = cfg.WithMetrics(ms)
 		}
 		s := stats.NewSeries(
 			fmt.Sprintf("Public-API rate sweep: sf N=%d uniform, %s", n, pool),

@@ -8,7 +8,11 @@
 //
 // Usage:
 //
-//	sfworker -connect host:port [-parallel N] [-retry 30s]
+//	sfworker -connect host:port [-parallel N] [-retry 30s] [-metrics host:port]
+//
+// With -metrics the worker serves its own Prometheus-text /metrics
+// endpoint, fed by the interval snapshots of every job it runs — scrape
+// each worker of a fleet to watch a distributed sweep from the inside.
 //
 // The worker exits 0 when the coordinator closes the connection (the
 // normal end of service) and non-zero on connect failure.
@@ -29,9 +33,10 @@ import (
 
 func main() {
 	var (
-		connect  = flag.String("connect", "", "coordinator address (host:port), required")
-		parallel = flag.Int("parallel", 0, "concurrent sweep points (0 = GOMAXPROCS)")
-		retry    = flag.Duration("retry", 15*time.Second, "keep retrying the initial dial for this long (workers may start before the coordinator)")
+		connect   = flag.String("connect", "", "coordinator address (host:port), required")
+		parallel  = flag.Int("parallel", 0, "concurrent sweep points (0 = GOMAXPROCS)")
+		retry     = flag.Duration("retry", 15*time.Second, "keep retrying the initial dial for this long (workers may start before the coordinator)")
+		metricsAt = flag.String("metrics", "", "serve this worker's own Prometheus-text /metrics endpoint on this address (host:port)")
 	)
 	flag.Parse()
 	if *connect == "" {
@@ -42,6 +47,18 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	var ms *stringfigure.MetricsServer
+	if *metricsAt != "" {
+		var err error
+		ms, err = stringfigure.ServeMetrics(*metricsAt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sfworker: %v\n", err)
+			os.Exit(1)
+		}
+		defer ms.Close()
+		fmt.Printf("sfworker: serving metrics at http://%s/metrics\n", ms.Addr())
+	}
+
 	slots := *parallel
 	if slots <= 0 {
 		slots = runtime.GOMAXPROCS(0)
@@ -50,6 +67,7 @@ func main() {
 	err := stringfigure.ServeWorker(ctx, *connect, stringfigure.WorkerOptions{
 		Parallel:  slots,
 		DialRetry: *retry,
+		Metrics:   ms,
 	})
 	if err != nil && ctx.Err() == nil {
 		fmt.Fprintf(os.Stderr, "sfworker: %v\n", err)

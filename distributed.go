@@ -42,7 +42,13 @@ func (n *Network) SweepDistributedContext(ctx context.Context, cfg SessionConfig
 	}
 	spec := n.spec()
 
-	// Partition: serializable points go remote; the rest stay local.
+	// Partition: serializable points go remote; the rest stay local. A
+	// telemetry sink cannot travel, so remote jobs carry a flag asking the
+	// worker to stream its interval snapshots back instead; local points
+	// reach the sink directly through runPoint. Either way the caller sees
+	// one merged stream on cfg's sink, each snapshot stamped with its
+	// point index, in per-point emission order.
+	telemetry := cfg.onTelemetry != nil
 	var remoteIdx, localIdx []int
 	var payloads [][]byte
 	for i, p := range points {
@@ -51,7 +57,7 @@ func (n *Network) SweepDistributedContext(ctx context.Context, cfg SessionConfig
 			localIdx = append(localIdx, i)
 			continue
 		}
-		b, err := encodeWire(wireJob{Spec: spec, Cfg: cfg, Index: i, Point: wp})
+		b, err := encodeWire(wireJob{Spec: spec, Cfg: cfg, Index: i, Point: wp, Telemetry: telemetry})
 		if err != nil {
 			localIdx = append(localIdx, i)
 			continue
@@ -78,7 +84,24 @@ func (n *Network) SweepDistributedContext(ctx context.Context, cfg SessionConfig
 			i := remoteIdx[id]
 			return encodeWire(resultToWire(n.runPoint(lctx, cfg, points[i], i)))
 		}
-		outcomes, err := c.co.Run(ctx, payloads, local)
+		// Forwarded snapshot batches unpack straight into the sweep's sink.
+		// The records were stamped (workload, seed, point index) by the
+		// worker's session layer — runPoint runs the same stamping code
+		// remotely — so nothing needs to be reconstructed here.
+		var onSnapshot func(id int, payload []byte)
+		if telemetry {
+			sink := cfg.onTelemetry
+			onSnapshot = func(id int, payload []byte) {
+				var batch wireSnapshotBatch
+				if err := decodeWire(payload, &batch); err != nil {
+					return
+				}
+				for _, t := range batch.Snaps {
+					sink(t)
+				}
+			}
+		}
+		outcomes, err := c.co.RunStream(ctx, payloads, local, onSnapshot)
 		if err != nil {
 			err = mapClusterErr(err)
 			for _, i := range remoteIdx {

@@ -20,7 +20,10 @@ func main() {
 	const (
 		n       = 64
 		gateOff = 6000  // cycle the quadrant powers down
-		gateOn  = 14000 // cycle it powers back up
+		gateOn  = 38000 // cycle it powers back up — a full 100 us minimum
+		// reconfiguration interval (31250 cycles at 3.2 ns) after the
+		// gate-off epoch; anything closer would be deferred to this cycle
+		// anyway (see stringfigure.GateEvent).
 	)
 	net, err := stringfigure.New(stringfigure.WithNodes(n), stringfigure.WithSeed(7))
 	if err != nil {
@@ -40,9 +43,9 @@ func main() {
 	cfg := stringfigure.SessionConfig{
 		Rate:           0.1,
 		Warmup:         1000,
-		Measure:        21000,
+		Measure:        45000,
 		Seed:           3,
-		TelemetryEvery: 500,
+		TelemetryEvery: 1000,
 		Gates:          gates,
 	}
 
@@ -62,9 +65,9 @@ func main() {
 		}
 		mark := ""
 		switch s.Cycle {
-		case gateOff + 500:
+		case gateOff + 1000:
 			mark = "  <- GateOff (healed shortcuts waking)"
-		case gateOn + 500:
+		case gateOn + 1000:
 			mark = "  <- GateOn commanded (rejoins after the 5us link wake)"
 		}
 		fmt.Printf("%7d  %9.1f  %9.1f  %6d  %5d  %5d  %8d  %s%s\n",

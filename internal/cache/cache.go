@@ -1,13 +1,9 @@
-// Package cache models the three-level cache hierarchy the paper's trace
-// generator uses to filter raw memory accesses before they reach the memory
-// network (Section V): 32 KB L1, 2 MB L2, 32 MB L3 with associativities 4,
-// 8 and 16, 64-byte lines, LRU replacement, and write-back write-allocate
-// semantics. Only L3 misses and write-backs become memory-network traffic.
 package cache
 
 // Access types.
 type AccessType int
 
+// Read and Write are the two access types a trace op can issue.
 const (
 	Read AccessType = iota
 	Write

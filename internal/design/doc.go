@@ -1,0 +1,9 @@
+// Package design lifts the six network designs of the paper's evaluation
+// (Section VI) — the distributed mesh (DM), the bandwidth-optimized mesh
+// (ODM), the flattened butterfly (FB), the adapted flattened butterfly
+// (AFB), the S2 random topology and String Figure itself — into one
+// first-class abstraction: a named topology instance with its router-level
+// adjacency, node→router concentration map, routing algorithm and simulator
+// configuration, normalized so every design runs on the same flit-level
+// simulator and behind the same public Workload/Session/Sweep machinery.
+package design

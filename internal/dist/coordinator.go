@@ -250,6 +250,8 @@ func (c *Coordinator) handle(conn net.Conn) {
 			// Liveness is the read itself; nothing to do.
 		case msgResult:
 			c.deliver(w, f)
+		case msgSnapshot:
+			c.deliverSnapshot(f)
 		case msgProgress:
 			c.noteProgress(w, f)
 		}
@@ -271,14 +273,40 @@ func (c *Coordinator) deliver(w *remote, f *frame) {
 	c.mu.Lock()
 	r := c.runs[f.Run]
 	c.mu.Unlock()
-	if r == nil {
-		return // run finished or canceled; stale result
+	if r == nil || f.ID < 0 || f.ID >= len(r.tasks) {
+		return // run finished or canceled, or a malformed frame
 	}
 	var err error
 	if f.Err != "" {
 		err = errors.New(f.Err)
 	}
 	r.complete(f.ID, f.Payload, err)
+}
+
+// deliverSnapshot routes one mid-task snapshot blob to its run's stream
+// callback. Snapshots of finished runs or already-completed tasks are
+// stale and dropped: a task requeued after a worker loss restarts its
+// stream from scratch on the new worker, and because a lost worker's
+// connection goroutine has already returned before the requeue happens,
+// the two attempts' snapshots can never interleave.
+func (c *Coordinator) deliverSnapshot(f *frame) {
+	c.mu.Lock()
+	r := c.runs[f.Run]
+	c.mu.Unlock()
+	if r == nil || r.snap == nil || f.ID < 0 || f.ID >= len(r.tasks) {
+		return
+	}
+	// The callback runs under the run lock: completion (which also takes
+	// the lock, and only closes the outcome stream afterwards) cannot
+	// finish the task — or the whole run — while a snapshot of it is
+	// mid-delivery, so the embedding layer's sink is never invoked after
+	// the run's stream has closed. Keep sinks fast: a slow one delays the
+	// run's result delivery.
+	r.mu.Lock()
+	if !r.delivered[f.ID] {
+		r.snap(f.ID, f.Payload)
+	}
+	r.mu.Unlock()
 }
 
 // noteProgress records a worker's progress report and forwards it to the
@@ -377,6 +405,7 @@ type run struct {
 	ctx   context.Context
 	tasks [][]byte
 	local LocalRunner
+	snap  func(id int, snapshot []byte)
 
 	out     chan Outcome  // buffered len(tasks): completes never block
 	pending chan int      // undispatched task ids, buffered len(tasks)
@@ -396,6 +425,20 @@ type run struct {
 // channel closes after the last outcome. Cancellation of ctx fails every
 // unfinished task with ctx.Err() immediately and tells workers to abort.
 func (c *Coordinator) Run(ctx context.Context, tasks [][]byte, local LocalRunner) (<-chan Outcome, error) {
+	return c.RunStream(ctx, tasks, local, nil)
+}
+
+// RunStream is Run with a mid-task snapshot stream: every snapshot blob a
+// worker emits for task id (RunFunc's emit callback) is handed to
+// onSnapshot as it arrives, before the task's Outcome. onSnapshot runs on
+// the receiving worker's connection goroutine — keep it fast, and make it
+// safe for concurrent use (different workers' connections call it
+// concurrently). Snapshots of one task arrive in emission order; a task
+// requeued after a worker loss restarts its stream from the beginning on
+// the new worker. Tasks executed by the local fallback runner bypass the
+// wire and therefore this callback — the embedding layer observes those
+// directly. nil onSnapshot behaves exactly like Run.
+func (c *Coordinator) RunStream(ctx context.Context, tasks [][]byte, local LocalRunner, onSnapshot func(id int, snapshot []byte)) (<-chan Outcome, error) {
 	if len(tasks) == 0 {
 		out := make(chan Outcome)
 		close(out)
@@ -413,6 +456,7 @@ func (c *Coordinator) Run(ctx context.Context, tasks [][]byte, local LocalRunner
 		ctx:       ctx,
 		tasks:     tasks,
 		local:     local,
+		snap:      onSnapshot,
 		out:       make(chan Outcome, len(tasks)),
 		pending:   make(chan int, len(tasks)),
 		wake:      make(chan struct{}, 1),

@@ -74,7 +74,7 @@ func startWorker(t *testing.T, c *Coordinator, capacity int, run RunFunc) (stop 
 	}
 }
 
-func echoUpper(ctx context.Context, payload []byte) ([]byte, error) {
+func echoUpper(ctx context.Context, payload []byte, _ func([]byte)) ([]byte, error) {
 	return bytes.ToUpper(payload), nil
 }
 
@@ -157,7 +157,7 @@ func TestWorkerErrorPropagates(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer c.Close()
-	stop := startWorker(t, c, 1, func(ctx context.Context, p []byte) ([]byte, error) {
+	stop := startWorker(t, c, 1, func(ctx context.Context, p []byte, _ func([]byte)) ([]byte, error) {
 		if string(p) == "bad" {
 			return nil, errors.New("task exploded")
 		}
@@ -200,7 +200,7 @@ func TestWorkerLossRequeues(t *testing.T) {
 	doneA := make(chan struct{})
 	go func() {
 		defer close(doneA)
-		Serve(ctxA, connA, 1, func(ctx context.Context, p []byte) ([]byte, error) {
+		Serve(ctxA, connA, 1, func(ctx context.Context, p []byte, _ func([]byte)) ([]byte, error) {
 			if string(p) == "poison" && poisoned.CompareAndSwap(false, true) {
 				connA.Close() // simulate a crash mid-task
 				<-ctx.Done()
@@ -226,7 +226,7 @@ func TestWorkerLossRequeues(t *testing.T) {
 		}
 		time.Sleep(10 * time.Millisecond)
 	}
-	stopB := startWorker(t, c, 1, func(ctx context.Context, p []byte) ([]byte, error) {
+	stopB := startWorker(t, c, 1, func(ctx context.Context, p []byte, _ func([]byte)) ([]byte, error) {
 		return append([]byte("B:"), p...), nil
 	})
 	defer stopB()
@@ -266,7 +266,7 @@ func TestTotalLossFallsBackToLocal(t *testing.T) {
 	doneA := make(chan struct{})
 	go func() {
 		defer close(doneA)
-		Serve(ctxA, connA, 1, func(ctx context.Context, p []byte) ([]byte, error) {
+		Serve(ctxA, connA, 1, func(ctx context.Context, p []byte, _ func([]byte)) ([]byte, error) {
 			connA.Close()
 			<-ctx.Done()
 			return nil, ctx.Err()
@@ -302,7 +302,7 @@ func TestRunContextCancel(t *testing.T) {
 	}
 	defer c.Close()
 	block := make(chan struct{})
-	stop := startWorker(t, c, 1, func(ctx context.Context, p []byte) ([]byte, error) {
+	stop := startWorker(t, c, 1, func(ctx context.Context, p []byte, _ func([]byte)) ([]byte, error) {
 		select {
 		case <-block:
 			return p, nil
@@ -335,7 +335,7 @@ func TestCloseFailsActiveRuns(t *testing.T) {
 	}
 	block := make(chan struct{})
 	defer close(block)
-	stop := startWorker(t, c, 1, func(ctx context.Context, p []byte) ([]byte, error) {
+	stop := startWorker(t, c, 1, func(ctx context.Context, p []byte, _ func([]byte)) ([]byte, error) {
 		select {
 		case <-block:
 			return p, nil
@@ -378,7 +378,7 @@ func TestLateJoinerPicksUpPendingWork(t *testing.T) {
 	firstBlocked := make(chan struct{})
 	release := make(chan struct{})
 	var first atomic.Bool
-	stop1 := startWorker(t, c, 1, func(ctx context.Context, p []byte) ([]byte, error) {
+	stop1 := startWorker(t, c, 1, func(ctx context.Context, p []byte, _ func([]byte)) ([]byte, error) {
 		if first.CompareAndSwap(false, true) {
 			close(firstBlocked)
 			select {
@@ -399,7 +399,7 @@ func TestLateJoinerPicksUpPendingWork(t *testing.T) {
 		t.Fatal(err)
 	}
 	<-firstBlocked
-	stop2 := startWorker(t, c, 2, func(ctx context.Context, p []byte) ([]byte, error) {
+	stop2 := startWorker(t, c, 2, func(ctx context.Context, p []byte, _ func([]byte)) ([]byte, error) {
 		return append([]byte("w2:"), p...), nil
 	})
 	defer stop2()

@@ -1,0 +1,12 @@
+// Package dist implements the transport behind distributed sweep
+// execution: a TCP coordinator that shards opaque task payloads over
+// remote workers and streams their outcomes back, with heartbeats and
+// requeue-on-worker-loss fault tolerance.
+//
+// The package is deliberately payload-agnostic — tasks and results travel
+// as []byte blobs produced by the embedding layer (the root stringfigure
+// package encodes sweep points and session results), so the coordinator
+// and worker stay a pure distribution engine with no knowledge of
+// simulations. Every message rides in one length-prefixed gob frame; see
+// codec.go for the wire format.
+package dist

@@ -1,14 +1,3 @@
-// Package dist implements the transport behind distributed sweep
-// execution: a TCP coordinator that shards opaque task payloads over
-// remote workers and streams their outcomes back, with heartbeats and
-// requeue-on-worker-loss fault tolerance.
-//
-// The package is deliberately payload-agnostic — tasks and results travel
-// as []byte blobs produced by the embedding layer (the root stringfigure
-// package encodes sweep points and session results), so the coordinator
-// and worker stay a pure distribution engine with no knowledge of
-// simulations. Every message rides in one length-prefixed gob frame; see
-// codec.go for the wire format.
 package dist
 
 import (
@@ -46,14 +35,23 @@ const (
 	// predate the frame ignore it (the read itself still counts as
 	// liveness).
 	msgProgress
+	// msgSnapshot carries one mid-task telemetry blob from worker to
+	// coordinator, tagged with the task's Run/ID so the coordinator can
+	// demultiplex concurrent tasks. Like the task payloads themselves the
+	// blob is opaque to this package (the embedding layer batches its
+	// interval records into it). Snapshot frames for one task always
+	// precede its msgResult on the wire, so a task's stream is complete
+	// when its outcome arrives; coordinators that predate the frame ignore
+	// it.
+	msgSnapshot
 )
 
 // frame is the single envelope every wire message travels in. Fields are
 // a union over the message types: Run/ID identify a task (msgJob,
-// msgResult, msgCancel), Capacity rides on msgHello and msgProgress,
-// Active/Completed ride on msgProgress, Payload carries the task or
-// result blob, and Err transfers a worker-side execution error as text
-// (typed errors do not survive the wire).
+// msgResult, msgSnapshot, msgCancel), Capacity rides on msgHello and
+// msgProgress, Active/Completed ride on msgProgress, Payload carries the
+// task, result or snapshot blob, and Err transfers a worker-side
+// execution error as text (typed errors do not survive the wire).
 type frame struct {
 	Type      msgType
 	Run       int

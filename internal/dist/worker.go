@@ -11,7 +11,14 @@ import (
 // RunFunc executes one task payload on the worker and returns the result
 // payload. The context is canceled when the coordinator cancels the
 // task's run or the worker shuts down.
-type RunFunc func(ctx context.Context, payload []byte) ([]byte, error)
+//
+// emit streams one mid-task snapshot blob back to the coordinator
+// (msgSnapshot), tagged with the task's identity; the coordinator hands
+// it to the RunStream snapshot callback. Sends are best-effort — a lost
+// snapshot is detected on the next result or heartbeat write — and every
+// emit issued before the function returns is ordered before the task's
+// result frame. Tasks without telemetry simply never call emit.
+type RunFunc func(ctx context.Context, payload []byte, emit func(snapshot []byte)) ([]byte, error)
 
 // Dial connects to a coordinator, retrying for up to the retry budget
 // (covering the common bring-up order where workers launch before the
@@ -140,13 +147,29 @@ func Serve(parent context.Context, conn net.Conn, capacity int, run RunFunc, cfg
 			jobs.Add(1)
 			go func(f *frame) {
 				defer jobs.Done()
-				payload, err := run(jctx, f.Payload)
+				// Snapshot frames share the connection mutex with the result
+				// frame sent below, so every emit issued by the task body is
+				// on the wire before its outcome.
+				emit := func(snapshot []byte) {
+					send(&frame{Type: msgSnapshot, Run: f.Run, ID: f.ID, Payload: snapshot})
+				}
+				payload, err := run(jctx, f.Payload, emit)
 				jmu.Lock()
 				delete(cancels, key)
 				active--
 				completed++
 				jmu.Unlock()
 				jcancel()
+				if ctx.Err() != nil {
+					// The worker itself is shutting down (or the connection
+					// is already gone): abandon the aborted job silently
+					// instead of racing the connection close with a spurious
+					// cancellation result — the coordinator declares this
+					// worker lost and requeues the task on a survivor. A
+					// coordinator-initiated run cancel (msgCancel) does not
+					// cancel ctx and still reports normally.
+					return
+				}
 				res := &frame{Type: msgResult, Run: f.Run, ID: f.ID, Payload: payload}
 				if err != nil {
 					res.Err = err.Error()

@@ -1,8 +1,3 @@
-// Package energy implements the dynamic-energy accounting of Table I:
-// network transfers cost 5 pJ per bit per hop, DRAM reads and writes cost 12
-// pJ per bit. The package converts simulator flit-hop counts and memory-node
-// access counts into energy, and provides the energy-delay product (EDP)
-// metric of Figure 9(b).
 package energy
 
 // Table I parameters.

@@ -1,8 +1,3 @@
-// Package graph provides the graph-theoretic substrate for the String Figure
-// reproduction: a compact directed multigraph representation shared by every
-// topology, breadth-first shortest paths, all-pairs path-length statistics,
-// Dinic max-flow, and the empirical bisection-bandwidth methodology from
-// Section V of the paper (50 random cuts, maximum flow across each cut).
 package graph
 
 import (

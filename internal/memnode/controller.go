@@ -17,6 +17,7 @@ const (
 	FRFCFS
 )
 
+// String names the scheduling policy for experiment output.
 func (p SchedPolicy) String() string {
 	if p == FRFCFS {
 		return "fr-fcfs"

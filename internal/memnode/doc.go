@@ -1,0 +1,6 @@
+// Package memnode models the 3D die-stacked memory nodes of the paper: 8 GB
+// HMC-style stacks with the DRAM timing of Table I (tRCD=12ns, tCL=6ns,
+// tRP=14ns, tRAS=33ns), bank-level parallelism, open-page row buffers, and
+// the address interleaving that distributes the physical address space
+// across the memory network's nodes.
+package memnode

@@ -1,11 +1,3 @@
-// Package memsys co-simulates the full memory system: CPU sockets replaying
-// workload traces, the memory network (internal/netsim), and DRAM-timing
-// memory nodes (internal/memnode). It is the closed-loop layer behind the
-// paper's real-workload results (Figure 12): read requests travel to the
-// owning memory node, wait out the DRAM service time, and return a data
-// response; trace replay stalls when the socket's outstanding-read window
-// fills, so execution time — and therefore IPC — depends on network and
-// DRAM latency exactly as in a trace-driven RTL run.
 package memsys
 
 import (

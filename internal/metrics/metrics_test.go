@@ -1,0 +1,62 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestHistogramClampBoundsMemory pins the overflow behavior: observations
+// far past the largest bound land only in the +Inf bucket, the raw values
+// stay in _sum, and the accumulator never grows past the clamp bucket —
+// a saturated network reporting 10^7 ns interval latencies for hours must
+// not grow the registry without bound.
+func TestHistogramClampBoundsMemory(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", "help.", []int{10, 100})
+	h.Observe(5)
+	h.Observe(50)
+	h.Observe(12_345_678) // pathological overflow
+	if h.h.Max() > 101 {
+		t.Errorf("accumulator grew to %d buckets; overflow must clamp at largest bound + 1", h.h.Max())
+	}
+	var b strings.Builder
+	if _, err := r.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	page := b.String()
+	for _, want := range []string{
+		`lat_bucket{le="10"} 1`,
+		`lat_bucket{le="100"} 2`,
+		`lat_bucket{le="+Inf"} 3`,
+		`lat_sum 12345733`,
+		`lat_count 3`,
+	} {
+		if !strings.Contains(page, want+"\n") {
+			t.Errorf("exposition missing %q:\n%s", want, page)
+		}
+	}
+}
+
+// TestRegistryRendering covers the remaining family kinds in one page.
+func TestRegistryRendering(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c_total", "a counter.").Add(3)
+	r.Gauge("g", "a gauge.").Set(-2.5)
+	r.GaugeFunc("w", "labeled.", func() []Sample {
+		return []Sample{{Name: `w{id="1"}`, Value: 7}}
+	})
+	var b strings.Builder
+	if _, err := r.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	page := b.String()
+	for _, want := range []string{
+		"# TYPE c_total counter", "c_total 3",
+		"# TYPE g gauge", "g -2.5",
+		`w{id="1"} 7`,
+	} {
+		if !strings.Contains(page, want+"\n") {
+			t.Errorf("exposition missing %q:\n%s", want, page)
+		}
+	}
+}

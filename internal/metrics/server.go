@@ -1,0 +1,54 @@
+package metrics
+
+import (
+	"net"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// textContentType is the Prometheus text exposition content type.
+const textContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// Handler returns an http.Handler that serves the registry's exposition
+// page — mount it yourself if the process already runs an HTTP server.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", textContentType)
+		r.WriteTo(w)
+	})
+}
+
+// Server is a minimal standalone HTTP server exposing one registry at
+// /metrics (and the same page at /, so `curl host:port` works too).
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+
+	once sync.Once
+	err  error
+}
+
+// Serve starts an HTTP server for the registry on addr ("host:port";
+// ":0" picks a free port, read it back with Addr).
+func Serve(addr string, reg *Registry) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", reg.Handler())
+	mux.Handle("/", reg.Handler())
+	s := &Server{ln: ln, srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}}
+	go s.srv.Serve(ln)
+	return s, nil
+}
+
+// Addr returns the server's listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server. Safe to call more than once.
+func (s *Server) Close() error {
+	s.once.Do(func() { s.err = s.srv.Close() })
+	return s.err
+}

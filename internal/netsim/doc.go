@@ -1,0 +1,21 @@
+// Package netsim is a flit-level, cycle-driven interconnect simulator — the
+// Go substitute for the paper's SystemVerilog/PyMTL RTL framework (Section
+// V). It models input-queued wormhole routers with virtual channels,
+// credit-based flow control, round-robin switch allocation, per-hop SerDes
+// latency, long-wire extra latency from the 2D placement, and the adaptive
+// routing policy driven by output-port load counters.
+//
+// Deadlock avoidance follows Duato's protocol: packets travel on adaptive
+// virtual channels under the topology's routing algorithm and may fall back
+// to reserved escape channels routed over a provably acyclic subnetwork (the
+// Space-0 ring with a dateline VC split for String Figure; dimension-order
+// for meshes and butterflies). The paper's two-VC coordinate-direction
+// scheme is preserved as the adaptive-VC assignment policy; used alone it
+// deadlocks under greedy MD routing (see EXPERIMENTS.md), which is why the
+// escape subnetwork exists.
+//
+// The simulator is topology-agnostic: it consumes an out-adjacency, a
+// routing.Algorithm for next-hop candidates, a virtual-channel policy, an
+// escape routing function, and a per-link latency function, so String
+// Figure and every baseline run on the same machinery.
+package netsim

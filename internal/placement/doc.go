@@ -1,0 +1,7 @@
+// Package placement implements the physical implementation model of Section
+// IV: memory nodes are placed on a 2D grid (PCB or silicon interposer), with
+// a placement heuristic that prioritizes clustering one-hop neighbors, then
+// two-hop neighbors, to keep wires short. Wire lengths feed the network
+// simulator's per-link latency: links longer than the HMC-supported reach
+// (ten grid units in the paper) pay one extra hop of latency.
+package placement

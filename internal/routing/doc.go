@@ -1,0 +1,7 @@
+// Package routing implements the routing protocols of the String Figure
+// paper: the greediest compute+table hybrid protocol over multi-space
+// virtual coordinates (Section III-B), the routing-table hardware model with
+// blocking/valid/hop bits (Section IV, Figure 6(b)), adaptive first-hop
+// selection driven by port-load counters, and the baseline routing schemes
+// (XY + adaptive for meshes, minimal + adaptive for flattened butterflies).
+package routing

@@ -1,0 +1,8 @@
+// Package stats provides the statistical primitives used throughout the
+// String Figure reproduction: running summaries, histograms, percentile
+// estimation, and labeled data series for experiment output.
+//
+// The experiment harness (internal/experiments) emits every figure and table
+// of the paper as stats.Series values so that the same code path feeds both
+// the command-line tools and the Go benchmarks.
+package stats

@@ -1,10 +1,3 @@
-// Package stats provides the statistical primitives used throughout the
-// String Figure reproduction: running summaries, histograms, percentile
-// estimation, and labeled data series for experiment output.
-//
-// The experiment harness (internal/experiments) emits every figure and table
-// of the paper as stats.Series values so that the same code path feeds both
-// the command-line tools and the Go benchmarks.
 package stats
 
 import (
@@ -163,11 +156,7 @@ func (h *Histogram) Mean() float64 {
 	if h.total == 0 {
 		return 0
 	}
-	var sum float64
-	for v, c := range h.counts {
-		sum += float64(v) * float64(c)
-	}
-	return sum / float64(h.total)
+	return h.Sum() / float64(h.total)
 }
 
 // Max returns the largest recorded value.
@@ -207,6 +196,34 @@ func (h *Histogram) Percentile(p float64) int {
 		}
 	}
 	return v
+}
+
+// CountLE returns how many recorded observations are <= v — the
+// cumulative-bucket query behind Prometheus-style histogram exposition
+// (internal/metrics renders each `le` bucket with it). v < 0 counts
+// nothing; v past the largest bucket counts everything.
+func (h *Histogram) CountLE(v int) int64 {
+	if v < 0 {
+		return 0
+	}
+	if v >= len(h.counts)-1 {
+		return h.total
+	}
+	var cum int64
+	for i := 0; i <= v; i++ {
+		cum += h.counts[i]
+	}
+	return cum
+}
+
+// Sum returns the sum of all recorded values (each value weighted by its
+// observation count) — the `_sum` series of a Prometheus histogram.
+func (h *Histogram) Sum() float64 {
+	var sum float64
+	for v, c := range h.counts {
+		sum += float64(v) * float64(c)
+	}
+	return sum
 }
 
 // Merge folds another histogram into h.

@@ -1,15 +1,3 @@
-// Package topology implements every network topology evaluated in the String
-// Figure paper (HPCA 2019): the String Figure balanced random topology with
-// shortcuts (Section III-A), the S2-style balanced random topology without
-// shortcuts, distributed mesh (DM) and optimized mesh (ODM), flattened
-// butterfly (FB) and adapted/partitioned flattened butterfly (AFB), and
-// Jellyfish random regular graphs.
-//
-// A topology is a static design artifact: it records which node pairs are
-// wired, in which virtual space each ring link lives, and which extra wires
-// (free-port pairings and shortcuts) exist. Dynamic state — which nodes are
-// alive and which shortcut wires are switched in — belongs to
-// internal/reconfig.
 package topology
 
 import (
@@ -36,6 +24,7 @@ const (
 	ShortcutLink
 )
 
+// String names the link type for experiment output.
 func (t LinkType) String() string {
 	switch t {
 	case RingLink:

@@ -1,0 +1,7 @@
+// Package traffic implements the synthetic traffic patterns of Table III
+// and the real-workload trace synthesis of Table IV. Synthetic patterns are
+// destination functions plugged into the network simulator's injection
+// process; workload traces are memory-access streams produced by per-
+// workload access models filtered through the cache hierarchy
+// (internal/cache) and mapped to memory nodes (internal/memnode).
+package traffic

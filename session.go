@@ -54,8 +54,11 @@ type SessionConfig struct {
 	// Gates schedules mid-run reconfiguration: each event gates a node off
 	// or back on at its absolute network cycle inside the running
 	// simulation (synthetic workloads on reconfigurable designs only).
-	// Scheduled runs are exclusive — they hold the network's write lock —
-	// and restore the starting alive mask on exit. Pair with telemetry to
+	// Same-cycle events form one reconfiguration epoch, and epochs closer
+	// together than the paper's 100 us minimum reconfiguration interval
+	// are deferred to the earliest legal cycle (see GateEvent). Scheduled
+	// runs are exclusive — they hold the network's write lock — and
+	// restore the starting alive mask on exit. Pair with telemetry to
 	// watch the latency transient a reconfiguration causes.
 	Gates []GateEvent
 

@@ -1,44 +1,3 @@
-// Package stringfigure is the public API of the String Figure memory
-// network reproduction (Ogleari et al., HPCA 2019): a scalable, elastic
-// memory network built from a balanced random topology over virtual
-// coordinate spaces, greediest compute+table routing, and shortcut-based
-// reconfiguration for power management and design reuse.
-//
-// The package wraps the building blocks under internal/ — topology
-// generation, routing, the flit-level network simulator, the DRAM-timing
-// memory nodes, and the reconfiguration engine — behind one front door:
-//
-//	net, err := stringfigure.New(stringfigure.WithNodes(64), stringfigure.WithSeed(7))
-//	path, err := net.Route(3, 42)
-//
-// Every design of the paper's evaluation is a first-class citizen: the same
-// constructor builds the DM/ODM mesh baselines, the FB/AFB flattened
-// butterflies, the S2 random topology and String Figure itself, all runnable
-// through the same sessions and sweeps:
-//
-//	fb, err := stringfigure.New(stringfigure.WithDesign("fb"), stringfigure.WithNodes(128))
-//
-// Simulation runs go through the Workload/Session/Sweep layer, which covers
-// synthetic traffic (Figures 8-11), trace-driven closed-loop memory
-// co-simulation with DRAM timing (Figure 12), and parallel rate sweeps:
-//
-//	sess := net.NewSession(stringfigure.SessionConfig{Rate: 0.2, Seed: 1})
-//	res, err := sess.Run(stringfigure.SyntheticWorkload{Pattern: "uniform"})
-//	res, err = sess.Run(stringfigure.TraceWorkload{Workload: "redis"})
-//
-//	for r := range net.Sweep(cfg, points, 0) { ... } // fan out over GOMAXPROCS
-//
-// Saturation searches (Figure 10's metric) fan candidate rates across the
-// same worker pool; see Network.Saturation. A single *Network may run many
-// sessions concurrently; reconfiguration calls (GateOff, GateOn, SetMounted)
-// serialize against in-flight runs.
-//
-// Sweeps also run cluster-wide: attach a Cluster (NewCluster, WithCluster)
-// and SweepDistributed/SaturationDistributed shard points over remote
-// sfworker processes (cmd/sfworker, ServeWorker) with bit-identical
-// results — the execution layer behind the paper's thousand-node scales.
-// See the examples/ directory for runnable programs and cmd/sfexp for the
-// experiment harness that regenerates the paper's figures.
 package stringfigure
 
 import (

@@ -58,6 +58,14 @@ type TelemetrySnapshot struct {
 // link wake latency under live traffic (the latency spike); a gate-on takes
 // effect one link wake latency AFTER its scheduled cycle, because the
 // returning node's links must wake before its table entries revalidate.
+//
+// Events that apply at the same cycle form one reconfiguration epoch (a
+// quadrant gated at once is one reconfiguration), and consecutive epochs
+// honor the paper's minimum reconfiguration interval (Timing.MinIntervalNs,
+// 100 us): an epoch scheduled closer than that to its predecessor is
+// deferred to the earliest legal cycle, preserving order. An epoch deferred
+// past the end of the run never fires — the starting alive mask is restored
+// on exit either way.
 type GateEvent struct {
 	Cycle int64
 	Node  int
@@ -167,11 +175,42 @@ func (n *Network) runSyntheticGated(ctx context.Context, cfg SessionConfig, pat 
 		if ev.On {
 			ev.Cycle += wakeCycles
 		}
-		if ev.Cycle < total { // events past the run never fire
-			events = append(events, ev)
-		}
+		events = append(events, ev)
 	}
 	sort.SliceStable(events, func(i, j int) bool { return events[i].Cycle < events[j].Cycle })
+
+	// Minimum reconfiguration spacing (Section VI): events that apply at
+	// one cycle form a single reconfiguration epoch — gating a whole
+	// quadrant at once is one reconfiguration, not eight — and consecutive
+	// epochs must be at least Timing.MinIntervalNs apart (the paper's
+	// 100 us). An epoch scheduled too early is deferred to the earliest
+	// legal cycle; order is preserved, and an epoch deferred past the end
+	// of the run never fires (the starting mask is restored on exit
+	// regardless).
+	minCycles := int64(n.net.Timing.MinIntervalNs / netsim.CycleNs)
+	if len(events) > 0 {
+		// Epoch membership is decided on the cycles as scheduled (after the
+		// gate-on wake shift), before any deferral: events that asked for
+		// one cycle stay together, riding their epoch's deferral as one.
+		prevOrig := events[0].Cycle
+		for i := 1; i < len(events); i++ {
+			orig := events[i].Cycle
+			switch {
+			case orig == prevOrig:
+				events[i].Cycle = events[i-1].Cycle
+			case orig < events[i-1].Cycle+minCycles:
+				events[i].Cycle = events[i-1].Cycle + minCycles
+			}
+			prevOrig = orig
+		}
+	}
+	kept := events[:0]
+	for _, ev := range events {
+		if ev.Cycle < total { // events past the run never fire
+			kept = append(kept, ev)
+		}
+	}
+	events = kept
 
 	n.mu.Lock()
 	defer n.mu.Unlock()

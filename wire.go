@@ -137,12 +137,33 @@ func (wp wirePoint) point() (Point, error) {
 // wireJob is one dispatched sweep point: the network to rebuild, the
 // sweep's base session config, and the point with its global index (the
 // PointSeed input, so remote seeds match the in-process pool exactly).
+// Telemetry asks the worker to stream the point's interval snapshots back
+// over the wire — the sink itself is a Go function and cannot travel, so
+// the flag stands in for it (the worker attaches its own batching sink,
+// which is determinism-neutral: Results are bit-identical either way).
 type wireJob struct {
-	Spec  networkSpec
-	Cfg   SessionConfig
-	Index int
-	Point wirePoint
+	Spec      networkSpec
+	Cfg       SessionConfig
+	Index     int
+	Point     wirePoint
+	Telemetry bool
 }
+
+// wireSnapshotBatch is the payload of one dist snapshot frame: a batch of
+// consecutive interval records of a single sweep point, already stamped
+// with the run's identity (workload, rate, seed, point index) by the
+// worker's session layer. Workers flush a batch every snapshotBatchMax
+// intervals and once more when the point's run ends, so batching bounds
+// per-snapshot wire overhead without reordering or dropping records.
+type wireSnapshotBatch struct {
+	Snaps []TelemetrySnapshot
+}
+
+// snapshotBatchMax caps how many interval records ride in one snapshot
+// frame. Small enough to keep remote streams live (a batch at the default
+// 1000-cycle interval spans 16k simulated cycles), large enough that the
+// frame overhead stays negligible next to the simulation work.
+const snapshotBatchMax = 16
 
 // wireResult is a Result in serializable form: the Err field (an
 // interface, excluded from transport) travels as text. Well-known
