@@ -30,10 +30,26 @@ type Cluster struct {
 	co *dist.Coordinator
 }
 
+// ClusterOption configures NewCluster.
+type ClusterOption func(*dist.Config)
+
+// ClusterToken requires workers to present this shared secret when they
+// connect: a worker whose hello carries a different (or missing) token is
+// rejected before registration with a goodbye naming the refusal, and its
+// ServeWorker returns ErrUnauthorized. Pair it with
+// WorkerOptions.Token / `sfworker -token`.
+func ClusterToken(token string) ClusterOption {
+	return func(c *dist.Config) { c.Token = token }
+}
+
 // NewCluster starts a coordinator listening on addr ("host:port"; use
 // ":0" to pick a free port, then read Addr).
-func NewCluster(addr string) (*Cluster, error) {
-	co, err := dist.Listen(addr, dist.Config{})
+func NewCluster(addr string, opts ...ClusterOption) (*Cluster, error) {
+	var cfg dist.Config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	co, err := dist.Listen(addr, cfg)
 	if err != nil {
 		return nil, fmt.Errorf("stringfigure: cluster listen: %w", err)
 	}
@@ -120,27 +136,76 @@ type WorkerOptions struct {
 	// not the coordinator asked for the snapshots forwarded. Attaching it
 	// never perturbs results — snapshots are observational.
 	Metrics *MetricsServer
+	// Token is the shared secret presented to a coordinator started with
+	// ClusterToken; a mismatch ends service with ErrWorkerUnauthorized.
+	Token string
+	// Reconnect keeps the worker in service across connection loss and
+	// coordinator restarts: after an abnormal disconnect it redials with
+	// exponential backoff (for up to DialRetry per attempt round, default
+	// 15s when unset), presenting the last coordinator session token so
+	// restarts are distinguishable from network blips. An orderly
+	// coordinator shutdown (goodbye) or an auth rejection still ends
+	// service — only unexpected losses retry.
+	Reconnect bool
 }
 
+// ErrWorkerUnauthorized reports a worker rejected by a token-guarded
+// coordinator (ClusterToken): the token is bad or missing, so retrying is
+// pointless — ServeWorker treats it as permanent even with Reconnect.
+var ErrWorkerUnauthorized = errors.New("stringfigure: worker unauthorized")
+
 // ServeWorker dials a cluster coordinator and serves sweep points until
-// the coordinator disconnects (returns nil) or ctx is canceled (returns
-// ctx.Err()). Jobs rebuild the coordinator's network locally from its
+// the coordinator disconnects (returns nil), ctx is canceled (returns
+// ctx.Err()), or — without WorkerOptions.Reconnect — the connection is
+// lost. Jobs rebuild the coordinator's network locally from its
 // serialized spec — builds are deterministic, so results are
 // bit-identical to in-process runs — and built networks are cached
-// across jobs. cmd/sfworker is a thin flag wrapper around this function.
+// across jobs and across reconnects. cmd/sfworker is a thin flag wrapper
+// around this function.
 func ServeWorker(ctx context.Context, addr string, o WorkerOptions) error {
 	if o.Parallel <= 0 {
 		o.Parallel = runtime.GOMAXPROCS(0)
-	}
-	conn, err := dist.Dial(ctx, addr, o.DialRetry)
-	if err != nil {
-		return fmt.Errorf("stringfigure: worker dial %s: %w", addr, err)
 	}
 	cache := &netCache{nets: make(map[string]*Network)}
 	if o.Metrics != nil {
 		cache.observe = o.Metrics.Observe
 	}
-	return dist.Serve(ctx, conn, o.Parallel, cache.runJob, dist.Config{})
+	// The session token survives reconnects: presenting the previous
+	// coordinator session in the next hello tells the coordinator (and
+	// this worker's logs) whether it is rejoining the same instance after
+	// a network blip or a freshly restarted one.
+	var mu sync.Mutex
+	var session string
+	retry := o.DialRetry
+	for attempt := 0; ; attempt++ {
+		if o.Reconnect && attempt > 0 && retry <= 0 {
+			retry = 15 * time.Second
+		}
+		conn, err := dist.Dial(ctx, addr, retry)
+		if err != nil {
+			return fmt.Errorf("stringfigure: worker dial %s: %w", addr, err)
+		}
+		mu.Lock()
+		cfg := dist.Config{Token: o.Token, Session: session}
+		mu.Unlock()
+		cfg.OnWelcome = func(s string, worker int) {
+			mu.Lock()
+			session = s
+			mu.Unlock()
+		}
+		err = dist.Serve(ctx, conn, o.Parallel, cache.runJob, cfg)
+		switch {
+		case err == nil:
+			return nil // orderly coordinator shutdown
+		case errors.Is(err, dist.ErrUnauthorized):
+			return fmt.Errorf("%w: %v", ErrWorkerUnauthorized, err)
+		case ctx.Err() != nil:
+			return ctx.Err()
+		case !o.Reconnect:
+			return err
+		}
+		// Abnormal loss with Reconnect on: go around and redial.
+	}
 }
 
 // netCache reuses worker-side networks across the jobs of a sweep (and

@@ -1,0 +1,127 @@
+// Command sfserve is the simulation-as-a-service front door: a persistent
+// coordinator that accepts sweep jobs over HTTP, shards their points over
+// connected sfworker processes (running them in-process while none are
+// connected), and journals every completed point under a state directory
+// — so killing and restarting the server resumes unfinished jobs from
+// their checkpoints, with final results bit-identical to an uninterrupted
+// run.
+//
+// Usage:
+//
+//	sfserve -state DIR [-http host:port] [-listen host:port]
+//	        [-token SECRET] [-metrics host:port] [-max-active N]
+//
+// -state (required) is the durable state directory: the append-only job
+// log and per-job checkpoint journals live there, and a restarted server
+// replays them to pick up where it left off. -http serves the HTTP/JSON
+// API (default 127.0.0.1:8080):
+//
+//	curl -X POST -H 'Authorization: Bearer SECRET' localhost:8080/v1/jobs \
+//	  -d '{"tenant":"alice","spec":{"nodes":64,"rates":[0.05,0.1,0.2]}}'
+//	curl -H 'Authorization: Bearer SECRET' localhost:8080/v1/jobs/j-000001/stream
+//
+// -listen opens the worker socket (sfworker -connect). -token guards both
+// front doors with one shared secret: HTTP requests present it as a
+// bearer token, workers with `sfworker -token`. -metrics serves a
+// Prometheus-text endpoint with per-tenant queue depth and throughput
+// plus cluster worker liveness.
+//
+// The server exits 0 on SIGINT/SIGTERM after interrupting running jobs;
+// interrupted jobs stay journaled as running and resume on the next
+// start.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	stringfigure "repro"
+)
+
+func main() {
+	var (
+		state     = flag.String("state", "", "durable state directory (required)")
+		httpAt    = flag.String("http", "127.0.0.1:8080", "HTTP/JSON API address")
+		listenAt  = flag.String("listen", "", "worker socket address (host:port; empty runs jobs in-process only)")
+		token     = flag.String("token", "", "shared secret guarding the HTTP API and the worker socket")
+		metricsAt = flag.String("metrics", "", "Prometheus-text /metrics address")
+		maxActive = flag.Int("max-active", 2, "jobs running concurrently")
+	)
+	flag.Parse()
+	if *state == "" {
+		fmt.Fprintln(os.Stderr, "sfserve: -state DIR required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	logf := func(format string, args ...any) {
+		fmt.Printf(format+"\n", args...)
+	}
+
+	var cluster *stringfigure.Cluster
+	if *listenAt != "" {
+		var err error
+		cluster, err = stringfigure.NewCluster(*listenAt, stringfigure.ClusterToken(*token))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sfserve: %v\n", err)
+			os.Exit(1)
+		}
+		defer cluster.Close()
+		logf("sfserve: workers connect at %s", cluster.Addr())
+	}
+
+	svc, err := stringfigure.NewService(stringfigure.ServiceConfig{
+		StateDir:  *state,
+		Cluster:   cluster,
+		Token:     *token,
+		MaxActive: *maxActive,
+		Logf:      logf,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sfserve: %v\n", err)
+		os.Exit(1)
+	}
+
+	if *metricsAt != "" {
+		ms, err := stringfigure.ServeMetrics(*metricsAt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sfserve: %v\n", err)
+			os.Exit(1)
+		}
+		defer ms.Close()
+		ms.WatchService(svc)
+		if cluster != nil {
+			ms.WatchCluster(cluster)
+		}
+		logf("sfserve: serving metrics at http://%s/metrics", ms.Addr())
+	}
+
+	srv := &http.Server{Addr: *httpAt, Handler: svc.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	logf("sfserve: serving HTTP API at http://%s (state %s)", *httpAt, *state)
+
+	select {
+	case <-ctx.Done():
+		logf("sfserve: shutting down (running jobs stay resumable)")
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintf(os.Stderr, "sfserve: http: %v\n", err)
+			svc.Close()
+			os.Exit(1)
+		}
+	}
+	shctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	srv.Shutdown(shctx)
+	svc.Close()
+}

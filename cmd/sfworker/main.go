@@ -9,10 +9,16 @@
 // Usage:
 //
 //	sfworker -connect host:port [-parallel N] [-retry 30s] [-metrics host:port]
+//	         [-token SECRET] [-reconnect]
 //
 // With -metrics the worker serves its own Prometheus-text /metrics
 // endpoint, fed by the interval snapshots of every job it runs — scrape
 // each worker of a fleet to watch a distributed sweep from the inside.
+// -token presents a shared secret to token-guarded coordinators (sfserve
+// -token); a rejected token exits non-zero immediately. -reconnect keeps
+// the worker in service across coordinator restarts and network blips:
+// abnormal connection losses redial with exponential backoff, while an
+// orderly coordinator shutdown still exits 0.
 //
 // The worker exits 0 when the coordinator closes the connection (the
 // normal end of service) and non-zero on connect failure.
@@ -37,6 +43,8 @@ func main() {
 		parallel  = flag.Int("parallel", 0, "concurrent sweep points (0 = GOMAXPROCS)")
 		retry     = flag.Duration("retry", 15*time.Second, "keep retrying the initial dial for this long (workers may start before the coordinator)")
 		metricsAt = flag.String("metrics", "", "serve this worker's own Prometheus-text /metrics endpoint on this address (host:port)")
+		token     = flag.String("token", "", "shared secret for token-guarded coordinators (sfserve -token)")
+		reconnect = flag.Bool("reconnect", false, "redial with backoff after abnormal connection loss (coordinator restarts); orderly shutdown still exits")
 	)
 	flag.Parse()
 	if *connect == "" {
@@ -68,6 +76,8 @@ func main() {
 		Parallel:  slots,
 		DialRetry: *retry,
 		Metrics:   ms,
+		Token:     *token,
+		Reconnect: *reconnect,
 	})
 	if err != nil && ctx.Err() == nil {
 		fmt.Fprintf(os.Stderr, "sfworker: %v\n", err)

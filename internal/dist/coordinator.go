@@ -2,6 +2,9 @@ package dist
 
 import (
 	"context"
+	"crypto/rand"
+	"crypto/subtle"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"net"
@@ -32,8 +35,9 @@ type LocalRunner func(ctx context.Context, id int) ([]byte, error)
 // join or leave at any time: joining workers pick up pending tasks of
 // active runs, and tasks in flight on a lost worker are requeued.
 type Coordinator struct {
-	cfg Config
-	ln  net.Listener
+	cfg     Config
+	ln      net.Listener
+	session string // random per-instance token, sent in every welcome
 
 	mu      sync.Mutex
 	closed  bool
@@ -56,6 +60,7 @@ func Listen(addr string, cfg Config) (*Coordinator, error) {
 	c := &Coordinator{
 		cfg:     cfg,
 		ln:      ln,
+		session: newSessionToken(),
 		workers: make(map[int]*remote),
 		runs:    make(map[int]*run),
 		change:  make(chan struct{}),
@@ -63,6 +68,19 @@ func Listen(addr string, cfg Config) (*Coordinator, error) {
 	go c.accept()
 	return c, nil
 }
+
+// newSessionToken mints the coordinator's per-instance session token. It
+// identifies one coordinator lifetime to reconnecting workers; collisions
+// only ever cost a misleading restart log line.
+func newSessionToken() string {
+	var b [8]byte
+	rand.Read(b[:])
+	return hex.EncodeToString(b[:])
+}
+
+// Session returns the coordinator's per-instance session token — the
+// value workers receive in their welcome frame.
+func (c *Coordinator) Session() string { return c.session }
 
 // Addr returns the coordinator's listen address.
 func (c *Coordinator) Addr() string { return c.ln.Addr().String() }
@@ -194,6 +212,16 @@ func (c *Coordinator) handle(conn net.Conn) {
 		conn.Close()
 		return
 	}
+	if c.cfg.Token != "" &&
+		subtle.ConstantTimeCompare([]byte(hello.Token), []byte(c.cfg.Token)) != 1 {
+		// Reject with a goodbye whose Err is set: the worker surfaces it
+		// as ErrUnauthorized instead of treating the close as a crash it
+		// should reconnect through.
+		conn.SetWriteDeadline(time.Now().Add(c.cfg.HeartbeatTimeout))
+		writeFrame(conn, &frame{Type: msgGoodbye, Err: ErrUnauthorized.Error()})
+		conn.Close()
+		return
+	}
 	w := &remote{
 		conn:     conn,
 		capacity: hello.Capacity,
@@ -216,6 +244,14 @@ func (c *Coordinator) handle(conn net.Conn) {
 	}
 	c.bump()
 	c.mu.Unlock()
+
+	// Complete the handshake: the welcome carries this coordinator
+	// instance's session token, which a reconnecting worker compares
+	// against the one it last served to tell a restart from a blip.
+	if w.send(&frame{Type: msgWelcome, ID: w.id, Session: c.session}, c.cfg.HeartbeatTimeout) != nil {
+		c.drop(w)
+		return
+	}
 
 	// A joining worker immediately pumps every active run.
 	for _, r := range active {

@@ -44,14 +44,28 @@ const (
 	// when its outcome arrives; coordinators that predate the frame ignore
 	// it.
 	msgSnapshot
+	// msgWelcome is the coordinator's reply to an accepted hello: it
+	// carries the coordinator's session token (Session, one random value
+	// per coordinator instance) and the worker's assigned id (ID). A
+	// reconnecting worker presents the last session it served in its
+	// hello; a welcome with a different token tells it the coordinator was
+	// restarted — in-flight work from the old session was requeued or
+	// replayed from the checkpoint journal, so the worker just keeps
+	// draining. A hello with a bad auth token is answered with a goodbye
+	// whose Err is set (see ErrUnauthorized) instead of a welcome.
+	msgWelcome
 )
 
 // frame is the single envelope every wire message travels in. Fields are
 // a union over the message types: Run/ID identify a task (msgJob,
 // msgResult, msgSnapshot, msgCancel), Capacity rides on msgHello and
-// msgProgress, Active/Completed ride on msgProgress, Payload carries the
-// task, result or snapshot blob, and Err transfers a worker-side
-// execution error as text (typed errors do not survive the wire).
+// msgProgress, Active/Completed ride on msgProgress, Token carries the
+// worker's auth secret on msgHello, Session carries the coordinator
+// session token on msgWelcome (and the worker's last-seen session on
+// msgHello), Payload carries the task, result or snapshot blob, and Err
+// transfers a worker-side execution error — or the coordinator's
+// rejection reason on a msgGoodbye — as text (typed errors do not
+// survive the wire).
 type frame struct {
 	Type      msgType
 	Run       int
@@ -59,6 +73,8 @@ type frame struct {
 	Capacity  int
 	Active    int
 	Completed int64
+	Token     string
+	Session   string
 	Payload   []byte
 	Err       string
 }
@@ -88,11 +104,33 @@ type Config struct {
 	// MaxRequeues bounds how often one task is redistributed after
 	// worker losses before it fails with ErrWorkerLost (default 3).
 	MaxRequeues int
+	// Token is the shared secret authenticating the worker socket. A
+	// coordinator with a token rejects hellos that do not present it
+	// (the worker's Serve returns ErrUnauthorized); an empty token
+	// accepts every connection. Workers send Config.Token in their
+	// hello.
+	Token string
+	// Session is the worker's last-seen coordinator session token
+	// (msgWelcome), presented in its hello on reconnect so both sides
+	// can tell a coordinator restart from a network blip. Informational:
+	// registration proceeds identically either way.
+	Session string
+	// SnapshotQueue bounds the worker's snapshot-forwarding buffer, in
+	// frames (default 256). Snapshot sends are decoupled from the
+	// simulating goroutine through this queue; when a slow or stalled
+	// coordinator lets it fill, the oldest frames are dropped so dense
+	// telemetry can never wedge a worker. Results are never queued or
+	// dropped.
+	SnapshotQueue int
 	// OnProgress, when set on a coordinator, receives every worker
 	// progress report as it arrives (called from the worker's connection
 	// goroutine; keep it fast and do not block). Coordinator.Progress
 	// offers the same data as a poll.
 	OnProgress func(worker int, p Progress)
+	// OnWelcome, when set on a worker, receives the coordinator's
+	// session token and this worker's assigned id right after the
+	// handshake. Reconnect loops use it to detect coordinator restarts.
+	OnWelcome func(session string, worker int)
 }
 
 func (c *Config) fill() {
@@ -105,6 +143,9 @@ func (c *Config) fill() {
 	if c.MaxRequeues <= 0 {
 		c.MaxRequeues = 3
 	}
+	if c.SnapshotQueue <= 0 {
+		c.SnapshotQueue = 256
+	}
 }
 
 // Sentinel errors of the transport layer. The root package wraps them in
@@ -115,4 +156,8 @@ var (
 	// ErrWorkerLost reports a task abandoned after exhausting its requeue
 	// budget across repeated worker losses.
 	ErrWorkerLost = errors.New("dist: worker lost")
+	// ErrUnauthorized reports a worker hello rejected by a coordinator
+	// that requires an auth token the worker did not present. Permanent:
+	// reconnect loops must not retry it.
+	ErrUnauthorized = errors.New("dist: unauthorized")
 )

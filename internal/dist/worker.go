@@ -3,6 +3,7 @@ package dist
 import (
 	"context"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
 	"time"
@@ -14,18 +15,27 @@ import (
 //
 // emit streams one mid-task snapshot blob back to the coordinator
 // (msgSnapshot), tagged with the task's identity; the coordinator hands
-// it to the RunStream snapshot callback. Sends are best-effort — a lost
-// snapshot is detected on the next result or heartbeat write — and every
-// emit issued before the function returns is ordered before the task's
-// result frame. Tasks without telemetry simply never call emit.
+// it to the RunStream snapshot callback. Sends are best-effort and
+// decoupled from the caller through a bounded queue (Config.SnapshotQueue)
+// that drops its oldest frames under backpressure, so a slow coordinator
+// can never wedge a dense telemetry run; the queue is flushed before the
+// task's result frame, so every snapshot that survives the queue is
+// ordered before the task's outcome. Tasks without telemetry simply never
+// call emit.
 type RunFunc func(ctx context.Context, payload []byte, emit func(snapshot []byte)) ([]byte, error)
 
-// Dial connects to a coordinator, retrying for up to the retry budget
-// (covering the common bring-up order where workers launch before the
-// coordinator listens). retry <= 0 tries exactly once.
+// Dial connects to a coordinator, retrying with exponential backoff and
+// jitter for up to the retry budget (covering the common bring-up order
+// where workers launch before the coordinator listens, and the
+// reconnect-after-restart loop of long-lived fleets). Delays start at
+// 100ms and double to a 2s cap, each drawn uniformly from [d/2, d) so a
+// restarted coordinator is not hit by its whole fleet in one synchronized
+// wave. retry <= 0 tries exactly once.
 func Dial(ctx context.Context, addr string, retry time.Duration) (net.Conn, error) {
 	var d net.Dialer
 	deadline := time.Now().Add(retry)
+	delay := 100 * time.Millisecond
+	const maxDelay = 2 * time.Second
 	for {
 		conn, err := d.DialContext(ctx, "tcp", addr)
 		if err == nil {
@@ -34,21 +44,104 @@ func Dial(ctx context.Context, addr string, retry time.Duration) (net.Conn, erro
 		if retry <= 0 || time.Now().After(deadline) {
 			return nil, err
 		}
+		jittered := delay/2 + time.Duration(rand.Int63n(int64(delay/2)+1))
 		select {
 		case <-ctx.Done():
 			return nil, ctx.Err()
-		case <-time.After(250 * time.Millisecond):
+		case <-time.After(jittered):
+		}
+		if delay *= 2; delay > maxDelay {
+			delay = maxDelay
 		}
 	}
 }
 
+// snapQueue is the worker's bounded snapshot-forwarding buffer: emits
+// enqueue here and a single forwarder goroutine drains to the connection,
+// so the simulating goroutine never blocks on a slow coordinator. When
+// the queue is full the OLDEST frame is dropped (the newest state is the
+// one worth keeping for live telemetry); Dropped counts the losses.
+type snapQueue struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	q       []*frame
+	cap     int
+	closed  bool
+	sending bool // forwarder is mid-send; flush waits for it too
+	dropped int64
+}
+
+func newSnapQueue(cap int) *snapQueue {
+	s := &snapQueue{cap: cap}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// push enqueues one frame, dropping the oldest when full. Never blocks.
+func (s *snapQueue) push(f *frame) {
+	s.mu.Lock()
+	if !s.closed {
+		if len(s.q) >= s.cap {
+			s.q = s.q[1:]
+			s.dropped++
+		}
+		s.q = append(s.q, f)
+	}
+	s.mu.Unlock()
+	s.cond.Broadcast()
+}
+
+// pop blocks until a frame is available or the queue closes (nil).
+// The popped frame is marked in-flight until done() is called, so flush
+// cannot return while a send is mid-write.
+func (s *snapQueue) pop() (*frame, func()) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for len(s.q) == 0 && !s.closed {
+		s.cond.Wait()
+	}
+	if len(s.q) == 0 {
+		return nil, nil
+	}
+	f := s.q[0]
+	s.q = s.q[1:]
+	s.sending = true
+	return f, func() {
+		s.mu.Lock()
+		s.sending = false
+		s.mu.Unlock()
+		s.cond.Broadcast()
+	}
+}
+
+// flush blocks until every queued frame has been handed to the
+// connection (or the queue closed). Result senders call it so a task's
+// surviving snapshots always precede its outcome on the wire.
+func (s *snapQueue) flush() {
+	s.mu.Lock()
+	for (len(s.q) > 0 || s.sending) && !s.closed {
+		s.cond.Wait()
+	}
+	s.mu.Unlock()
+}
+
+// close releases poppers and flushers.
+func (s *snapQueue) close() {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	s.cond.Broadcast()
+}
+
 // Serve runs the worker side of the protocol on an established
-// connection: announce capacity, then execute up to capacity jobs
-// concurrently until the coordinator announces shutdown (returns nil —
-// the normal end of service), ctx is canceled (returns ctx.Err()), or
-// the connection is lost without a goodbye (returns an error, so
-// supervisors can restart the worker). The connection is closed on
-// return.
+// connection: announce capacity (and the auth token, if the coordinator
+// requires one), then execute up to capacity jobs concurrently until the
+// coordinator announces shutdown (returns nil — the normal end of
+// service), ctx is canceled (returns ctx.Err()), or the connection is
+// lost without a goodbye (returns an error, so supervisors can restart
+// the worker). A goodbye carrying a rejection reason — a bad or missing
+// auth token — returns ErrUnauthorized, which reconnect loops must treat
+// as permanent. The connection is closed on return.
 func Serve(parent context.Context, conn net.Conn, capacity int, run RunFunc, cfg Config) error {
 	cfg.fill()
 	if capacity < 1 {
@@ -63,7 +156,7 @@ func Serve(parent context.Context, conn net.Conn, capacity int, run RunFunc, cfg
 		conn.SetWriteDeadline(time.Now().Add(cfg.HeartbeatTimeout))
 		return writeFrame(conn, f)
 	}
-	if err := send(&frame{Type: msgHello, Capacity: capacity}); err != nil {
+	if err := send(&frame{Type: msgHello, Capacity: capacity, Token: cfg.Token, Session: cfg.Session}); err != nil {
 		return err
 	}
 
@@ -85,6 +178,23 @@ func Serve(parent context.Context, conn net.Conn, capacity int, run RunFunc, cfg
 			case <-ctx.Done():
 				return
 			}
+		}
+	}()
+
+	// Snapshot frames travel through a bounded drop-oldest queue drained
+	// by one forwarder goroutine, decoupling the simulating task bodies
+	// from the connection: a coordinator too slow to read telemetry costs
+	// dropped snapshots, never a wedged worker.
+	snaps := newSnapQueue(cfg.SnapshotQueue)
+	defer snaps.close()
+	go func() {
+		for {
+			f, done := snaps.pop()
+			if f == nil {
+				return
+			}
+			send(f) // best-effort; a dead connection surfaces on the read loop
+			done()
 		}
 	}()
 
@@ -121,10 +231,20 @@ func Serve(parent context.Context, conn net.Conn, capacity int, run RunFunc, cfg
 			return fmt.Errorf("dist: connection to coordinator lost: %w", err)
 		}
 		switch f.Type {
+		case msgWelcome:
+			if cfg.OnWelcome != nil {
+				cfg.OnWelcome(f.Session, f.ID)
+			}
 		case msgGoodbye:
-			// Orderly coordinator shutdown: the normal end of service.
 			cancel()
 			jobs.Wait()
+			if f.Err != "" {
+				// The coordinator rejected this worker (bad auth token):
+				// permanent, not the orderly shutdown a supervisor should
+				// restart through.
+				return fmt.Errorf("%w: %s", ErrUnauthorized, f.Err)
+			}
+			// Orderly coordinator shutdown: the normal end of service.
 			return nil
 		case msgHeartbeat:
 			// Liveness is the read itself.
@@ -147,11 +267,11 @@ func Serve(parent context.Context, conn net.Conn, capacity int, run RunFunc, cfg
 			jobs.Add(1)
 			go func(f *frame) {
 				defer jobs.Done()
-				// Snapshot frames share the connection mutex with the result
-				// frame sent below, so every emit issued by the task body is
-				// on the wire before its outcome.
+				// Snapshots ride the bounded queue; the flush before the
+				// result frame below keeps every surviving emit ordered
+				// ahead of the task's outcome.
 				emit := func(snapshot []byte) {
-					send(&frame{Type: msgSnapshot, Run: f.Run, ID: f.ID, Payload: snapshot})
+					snaps.push(&frame{Type: msgSnapshot, Run: f.Run, ID: f.ID, Payload: snapshot})
 				}
 				payload, err := run(jctx, f.Payload, emit)
 				jmu.Lock()
@@ -163,11 +283,12 @@ func Serve(parent context.Context, conn net.Conn, capacity int, run RunFunc, cfg
 				if ctx.Err() != nil {
 					// The worker itself is shutting down (or the connection
 					// is already gone): abandon the aborted job silently
-					// instead of racing the connection close with a spurious
-					// cancellation result — the coordinator declares this
-					// worker lost and requeues the task on a survivor. A
-					// coordinator-initiated run cancel (msgCancel) does not
-					// cancel ctx and still reports normally.
+					// instead of racing a spurious context-canceled result
+					// against the connection close — the coordinator
+					// declares this worker lost and requeues the task on a
+					// survivor. A coordinator-initiated run cancel
+					// (msgCancel) does not cancel ctx and still reports
+					// normally.
 					return
 				}
 				res := &frame{Type: msgResult, Run: f.Run, ID: f.ID, Payload: payload}
@@ -175,6 +296,7 @@ func Serve(parent context.Context, conn net.Conn, capacity int, run RunFunc, cfg
 					res.Err = err.Error()
 					res.Payload = nil
 				}
+				snaps.flush()
 				if send(res) != nil {
 					conn.Close() // result lost; force reconnect semantics
 					return

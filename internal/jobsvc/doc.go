@@ -1,0 +1,20 @@
+// Package jobsvc is the persistent, multi-tenant simulation job service:
+// a coordinator that outlives any single sweep. It owns a durable job
+// queue (submissions appended to jobs.jsonl under a state directory, so a
+// restarted service replays pending work), point-level checkpointing
+// (completed (point, result) pairs journaled per job, so a resumed job
+// re-runs only unfinished points), a priority scheduler with round-robin
+// fairness across tenants, and an HTTP/JSON front door (POST /v1/jobs,
+// GET /v1/jobs/{id}, GET /v1/jobs/{id}/stream, DELETE /v1/jobs/{id})
+// guarded by an optional bearer token.
+//
+// Like internal/dist, the package is payload-agnostic: a job's Spec is an
+// opaque JSON document and its point results are opaque JSON values. The
+// embedding layer (the root package's Service) supplies an Executor that
+// plans a spec into a point count and runs a pending subset, emitting one
+// result per point; jobsvc journals, schedules and serves. Determinism is
+// the embedding layer's contract — jobsvc preserves it by re-running
+// exactly the unjournaled points with their original indices, so a
+// killed-and-resumed job merges to results bit-identical to an
+// uninterrupted run.
+package jobsvc

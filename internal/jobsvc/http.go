@@ -1,0 +1,167 @@
+package jobsvc
+
+import (
+	"crypto/subtle"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strings"
+)
+
+// submitRequest is the POST /v1/jobs body.
+type submitRequest struct {
+	// Tenant names the submitting tenant for fairness accounting
+	// (default "default").
+	Tenant string `json:"tenant,omitempty"`
+	// Priority orders jobs within a tenant (higher runs first).
+	Priority int `json:"priority,omitempty"`
+	// Spec is the job payload, passed to the Executor's Plan.
+	Spec json.RawMessage `json:"spec"`
+}
+
+// httpError is the JSON error body every non-2xx response carries.
+type httpError struct {
+	Error string `json:"error"`
+}
+
+// Handler returns the service's HTTP front door:
+//
+//	POST   /v1/jobs              submit a job ({tenant, priority, spec})
+//	GET    /v1/jobs              list jobs
+//	GET    /v1/jobs/{id}         job status
+//	GET    /v1/jobs/{id}/results checkpointed results, ordered by point
+//	GET    /v1/jobs/{id}/stream  NDJSON live stream (results, telemetry, status)
+//	DELETE /v1/jobs/{id}         cancel
+//
+// When Config.Token is set, every request must carry it as
+// `Authorization: Bearer <token>`; mismatches get 401.
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
+	mux.HandleFunc("GET /v1/jobs/{id}/results", s.handleResults)
+	mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleStream)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	return s.auth(mux)
+}
+
+// auth enforces the bearer token ahead of every route.
+func (s *Service) auth(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if s.cfg.Token != "" {
+			got, ok := strings.CutPrefix(r.Header.Get("Authorization"), "Bearer ")
+			if !ok || subtle.ConstantTimeCompare([]byte(got), []byte(s.cfg.Token)) != 1 {
+				writeJSON(w, http.StatusUnauthorized, httpError{Error: "missing or invalid bearer token"})
+				return
+			}
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+// jobStatus maps service errors to HTTP codes.
+func errStatus(err error) int {
+	if errors.Is(err, ErrUnknownJob) {
+		return http.StatusNotFound
+	}
+	return http.StatusBadRequest
+}
+
+func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req submitRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, httpError{Error: "bad request body: " + err.Error()})
+		return
+	}
+	if len(req.Spec) == 0 {
+		writeJSON(w, http.StatusBadRequest, httpError{Error: "spec required"})
+		return
+	}
+	j, err := s.Submit(req.Tenant, req.Priority, req.Spec)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, httpError{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusCreated, j)
+}
+
+func (s *Service) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.List())
+}
+
+func (s *Service) handleGet(w http.ResponseWriter, r *http.Request) {
+	j, err := s.Get(r.PathValue("id"))
+	if err != nil {
+		writeJSON(w, errStatus(err), httpError{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, j)
+}
+
+func (s *Service) handleResults(w http.ResponseWriter, r *http.Request) {
+	rs, err := s.Results(r.PathValue("id"))
+	if err != nil {
+		writeJSON(w, errStatus(err), httpError{Error: err.Error()})
+		return
+	}
+	if rs == nil {
+		rs = []PointResult{}
+	}
+	writeJSON(w, http.StatusOK, rs)
+}
+
+func (s *Service) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if err := s.Cancel(id); err != nil {
+		writeJSON(w, errStatus(err), httpError{Error: err.Error()})
+		return
+	}
+	j, err := s.Get(id)
+	if err != nil {
+		writeJSON(w, errStatus(err), httpError{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, j)
+}
+
+// handleStream serves a job's live NDJSON stream: journaled results
+// replay first, then live records as they checkpoint, ending with one
+// status record when the job settles (or when the client goes away).
+func (s *Service) handleStream(w http.ResponseWriter, r *http.Request) {
+	sub, stop, err := s.Subscribe(r.PathValue("id"))
+	if err != nil {
+		writeJSON(w, errStatus(err), httpError{Error: err.Error()})
+		return
+	}
+	defer stop()
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+
+	// Unblock the next() loop when the client disconnects.
+	done := r.Context().Done()
+	go func() {
+		<-done
+		stop()
+	}()
+	for {
+		rec, ok := sub.next()
+		if !ok {
+			return
+		}
+		if err := enc.Encode(rec); err != nil {
+			return
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+}

@@ -1,0 +1,80 @@
+package jobsvc
+
+import (
+	"encoding/json"
+	"time"
+)
+
+// State is a job's lifecycle state.
+type State string
+
+// Job lifecycle: queued -> running -> done | failed | canceled. A
+// coordinator crash or restart returns running jobs to queued; their
+// checkpointed points are not re-run.
+const (
+	StateQueued   State = "queued"
+	StateRunning  State = "running"
+	StateDone     State = "done"
+	StateFailed   State = "failed"
+	StateCanceled State = "canceled"
+)
+
+// terminal reports whether a job in state s will never run again.
+func (s State) terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// Job is one queued unit of work: an opaque spec the embedding layer's
+// Executor knows how to plan into Points sweep points and run. The JSON
+// form doubles as the HTTP status representation.
+type Job struct {
+	ID       string `json:"id"`
+	Tenant   string `json:"tenant"`
+	Priority int    `json:"priority"`
+	// Spec is the submission payload, opaque to this package.
+	Spec json.RawMessage `json:"spec"`
+	// Points is the total point count planned at submission; Completed is
+	// how many are checkpointed in the job's journal.
+	Points    int       `json:"points"`
+	Completed int       `json:"completed"`
+	State     State     `json:"state"`
+	Error     string    `json:"error,omitempty"`
+	Submitted time.Time `json:"submitted"`
+	Finished  time.Time `json:"finished,omitzero"`
+
+	seq int // submission order, for FIFO within (tenant, priority)
+}
+
+// clone returns a copy safe to hand out after the lock is released.
+func (j *Job) clone() Job {
+	c := *j
+	c.Spec = append(json.RawMessage(nil), j.Spec...)
+	return c
+}
+
+// PointResult is one checkpointed (point, result) pair: the unit of the
+// journal and of the results endpoint. Result bytes are stored exactly as
+// emitted by the Executor, so replayed and freshly-computed results are
+// byte-identical.
+type PointResult struct {
+	Point  int             `json:"point"`
+	Result json.RawMessage `json:"result"`
+}
+
+// StreamRecord is one NDJSON record on a job's live stream: a
+// checkpointed result, a telemetry record, or a terminal status marker.
+type StreamRecord struct {
+	// Type is "result", "telemetry" or "status".
+	Type string `json:"type"`
+	// Point identifies the sweep point of a result record.
+	Point *int `json:"point,omitempty"`
+	// Result carries the point's result exactly as journaled.
+	Result json.RawMessage `json:"result,omitempty"`
+	// Telemetry carries one interval record as emitted by the Executor.
+	Telemetry json.RawMessage `json:"telemetry,omitempty"`
+	// State/Error/Completed/Points describe the job on status records.
+	State     State  `json:"state,omitempty"`
+	Error     string `json:"error,omitempty"`
+	Completed int    `json:"completed,omitempty"`
+	Points    int    `json:"points,omitempty"`
+}

@@ -1,0 +1,73 @@
+package jobsvc
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/metrics"
+)
+
+// RegisterMetrics exposes the service's per-tenant health on reg as
+// callback gauge families, read off the live job table at scrape time:
+//
+//	sfserve_queue_depth{tenant="..."}      queued jobs per tenant
+//	sfserve_jobs_running{tenant="..."}     running jobs per tenant
+//	sfserve_jobs_total                     jobs known to the service
+//	sfserve_points_completed{tenant="..."} points checkpointed this process
+func (s *Service) RegisterMetrics(reg *metrics.Registry) {
+	reg.GaugeFunc("sfserve_queue_depth",
+		"Queued jobs per tenant.",
+		func() []metrics.Sample { return s.tenantStateSamples("sfserve_queue_depth", StateQueued) })
+	reg.GaugeFunc("sfserve_jobs_running",
+		"Running jobs per tenant.",
+		func() []metrics.Sample { return s.tenantStateSamples("sfserve_jobs_running", StateRunning) })
+	reg.GaugeFunc("sfserve_jobs_total",
+		"Jobs known to the service in any state.",
+		func() []metrics.Sample {
+			s.mu.Lock()
+			n := len(s.jobs)
+			s.mu.Unlock()
+			return []metrics.Sample{{Name: "sfserve_jobs_total", Value: float64(n)}}
+		})
+	reg.GaugeFunc("sfserve_points_completed",
+		"Sweep points checkpointed per tenant since this process started.",
+		func() []metrics.Sample {
+			s.mu.Lock()
+			out := make([]metrics.Sample, 0, len(s.served))
+			for tenant, n := range s.served {
+				out = append(out, metrics.Sample{
+					Name:  fmt.Sprintf("sfserve_points_completed{tenant=%q}", tenant),
+					Value: float64(n),
+				})
+			}
+			s.mu.Unlock()
+			sortSamples(out)
+			return out
+		})
+}
+
+// tenantStateSamples counts jobs in one state, grouped by tenant.
+func (s *Service) tenantStateSamples(name string, state State) []metrics.Sample {
+	s.mu.Lock()
+	counts := make(map[string]int)
+	for _, j := range s.jobs {
+		if j.State == state {
+			counts[j.Tenant]++
+		}
+	}
+	s.mu.Unlock()
+	out := make([]metrics.Sample, 0, len(counts))
+	for tenant, n := range counts {
+		out = append(out, metrics.Sample{
+			Name:  fmt.Sprintf("%s{tenant=%q}", name, tenant),
+			Value: float64(n),
+		})
+	}
+	sortSamples(out)
+	return out
+}
+
+// sortSamples orders samples by name so scrapes are stable.
+func sortSamples(ss []metrics.Sample) {
+	sort.Slice(ss, func(i, k int) bool { return ss[i].Name < ss[k].Name })
+}

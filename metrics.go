@@ -45,13 +45,42 @@ type MetricsServer struct {
 	latency   *metrics.Histogram
 }
 
+// MetricsOption configures ServeMetrics.
+type MetricsOption func(*metricsOptions)
+
+type metricsOptions struct {
+	latencyBuckets []int
+}
+
+// defaultLatencyBuckets are the interval-latency histogram bounds used
+// when WithTelemetryBuckets is not given: doubling from 25 ns to 12.8 us,
+// bracketing the paper's zero-load-to-saturation latency range.
+var defaultLatencyBuckets = []int{25, 50, 100, 200, 400, 800, 1600, 3200, 6400, 12800}
+
+// WithTelemetryBuckets overrides the upper bounds (in nanoseconds, sorted
+// ascending; +Inf is implicit) of the stringfigure_interval_latency_ns
+// histogram. Use it when a deployment's latency range sits outside the
+// defaults — e.g. coarse buckets for saturated-network soak tests, fine
+// ones for zero-load studies. Empty or nil keeps the defaults.
+func WithTelemetryBuckets(boundsNs []int) MetricsOption {
+	return func(o *metricsOptions) {
+		if len(boundsNs) > 0 {
+			o.latencyBuckets = append([]int(nil), boundsNs...)
+		}
+	}
+}
+
 // ServeMetrics starts a Prometheus-text /metrics HTTP endpoint on addr
 // ("host:port"; ":0" picks a free port, read it back with Addr). The
 // returned server reports nothing until telemetry is routed into it —
 // chain it into a session or sweep config with SessionConfig.WithMetrics,
 // attach a cluster with WatchCluster, or hand it to a worker via
 // WorkerOptions.Metrics. Close it when done.
-func ServeMetrics(addr string) (*MetricsServer, error) {
+func ServeMetrics(addr string, opts ...MetricsOption) (*MetricsServer, error) {
+	o := metricsOptions{latencyBuckets: defaultLatencyBuckets}
+	for _, opt := range opts {
+		opt(&o)
+	}
 	reg := metrics.NewRegistry()
 	m := &MetricsServer{
 		reg: reg,
@@ -69,7 +98,7 @@ func ServeMetrics(addr string) (*MetricsServer, error) {
 			"Network flit occupancy at the last observed interval."),
 		latency: reg.Histogram("stringfigure_interval_latency_ns",
 			"Per-interval average packet latency in nanoseconds.",
-			[]int{25, 50, 100, 200, 400, 800, 1600, 3200, 6400, 12800}),
+			o.latencyBuckets),
 	}
 	srv, err := metrics.Serve(addr, reg)
 	if err != nil {
@@ -154,8 +183,8 @@ func (m *MetricsServer) WatchCluster(c *Cluster) {
 // it by chaining the returned server into sweep configs with
 // SessionConfig.WithMetrics — with telemetry-enabled distributed sweeps,
 // remote workers' forwarded snapshots land in the same counters.
-func (c *Cluster) ServeMetrics(addr string) (*MetricsServer, error) {
-	m, err := ServeMetrics(addr)
+func (c *Cluster) ServeMetrics(addr string, opts ...MetricsOption) (*MetricsServer, error) {
+	m, err := ServeMetrics(addr, opts...)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,299 @@
+package stringfigure
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// waitJob polls until the job reaches a terminal state.
+func waitJob(t *testing.T, s *Service, id string) JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		j, err := s.Job(id)
+		if err != nil {
+			t.Fatalf("Job(%s): %v", id, err)
+		}
+		switch j.State {
+		case "done":
+			return j
+		case "failed", "canceled":
+			t.Fatalf("job %s settled %s: %s", id, j.State, j.Error)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("job %s never settled", id)
+	return JobStatus{}
+}
+
+// quickSpec is a sweep small enough for CI yet with several points, so an
+// interruption can land mid-job.
+func quickSpec() JobSpec {
+	return JobSpec{
+		Nodes:   16,
+		Rates:   []float64{0.05, 0.1, 0.15, 0.2},
+		Seed:    42,
+		Warmup:  200,
+		Measure: 400,
+	}
+}
+
+// TestServiceResumeBitIdentical is the PR's acceptance invariant at the
+// Go level: a job interrupted by a service restart finishes with results
+// byte-identical to the same job run uninterrupted.
+func TestServiceResumeBitIdentical(t *testing.T) {
+	dir := t.TempDir()
+	// Enough points, each slow enough, that closing after the first
+	// checkpoint reliably leaves work pending.
+	spec := JobSpec{
+		Nodes:   16,
+		Rates:   []float64{0.02, 0.05, 0.08, 0.1, 0.12, 0.15, 0.18, 0.2, 0.25, 0.3},
+		Seed:    42,
+		Warmup:  500,
+		Measure: 2500,
+	}
+
+	// Interrupted run: close the service as soon as at least one point
+	// (but not all) is checkpointed.
+	s1, err := NewService(ServiceConfig{StateDir: dir, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := s1.SubmitJob("alice", 0, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		jj, err := s1.Job(j.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if jj.Completed >= 1 {
+			break
+		}
+		if jj.State == "done" || time.Now().After(deadline) {
+			t.Fatalf("job finished (%s, %d/%d) before the restart could interrupt it; shrink the interrupt window",
+				jj.State, jj.Completed, jj.Points)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	s1.Close()
+	mid, err := s1.Job(j.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mid.Completed >= mid.Points {
+		t.Skipf("all %d points finished before close; nothing interrupted on this machine", mid.Points)
+	}
+
+	// Resume in a fresh service over the same state dir.
+	s2, err := NewService(ServiceConfig{StateDir: dir, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	got := waitJob(t, s2, j.ID)
+	if got.Completed != got.Points {
+		t.Fatalf("resumed job completed %d of %d", got.Completed, got.Points)
+	}
+	resumed, err := s2.JobResults(j.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Uninterrupted reference run of the identical spec.
+	ref, err := NewService(ServiceConfig{StateDir: t.TempDir(), Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Close()
+	rj, err := ref.SubmitJob("alice", 0, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitJob(t, ref, rj.ID)
+	fresh, err := ref.JobResults(rj.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	a, _ := json.Marshal(resumed)
+	b, _ := json.Marshal(fresh)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("resumed results differ from uninterrupted run\nresumed: %s\nfresh:   %s", a, b)
+	}
+}
+
+// TestServiceHTTPAuth pins the HTTP token gate end to end on the public
+// service type.
+func TestServiceHTTPAuth(t *testing.T) {
+	s, err := NewService(ServiceConfig{StateDir: t.TempDir(), Token: "sekrit", Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	body := `{"tenant":"alice","spec":{"nodes":16,"rates":[0.05],"warmup":100,"measure":200}}`
+	for _, tc := range []struct {
+		token string
+		want  int
+	}{
+		{"", http.StatusUnauthorized},
+		{"wrong", http.StatusUnauthorized},
+		{"sekrit", http.StatusCreated},
+	} {
+		req, _ := http.NewRequest("POST", srv.URL+"/v1/jobs", strings.NewReader(body))
+		if tc.token != "" {
+			req.Header.Set("Authorization", "Bearer "+tc.token)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != tc.want {
+			t.Fatalf("token %q: status %d, want %d", tc.token, resp.StatusCode, tc.want)
+		}
+		resp.Body.Close()
+	}
+}
+
+// TestWorkerReconnectAcrossCoordinator pins WorkerOptions.Reconnect: a
+// worker survives a coordinator restart, observes the session change, and
+// an auth rejection stays permanent despite Reconnect.
+func TestWorkerReconnectAcrossCoordinator(t *testing.T) {
+	c1, err := NewCluster("127.0.0.1:0", ClusterToken("sekrit"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := c1.Addr()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() {
+		done <- ServeWorker(ctx, addr, WorkerOptions{
+			Parallel:  1,
+			DialRetry: 10 * time.Second,
+			Token:     "sekrit",
+			Reconnect: true,
+		})
+	}()
+	if err := c1.WaitForWorkers(ctx, 1); err != nil {
+		t.Fatal(err)
+	}
+
+	// An orderly Close sends a goodbye, which ends service even for
+	// reconnecting workers — Reconnect only retries abnormal losses.
+	c1.Close()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("worker after orderly close: %v, want nil", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("worker did not exit on orderly coordinator close")
+	}
+
+	// The redial path: start the worker before the coordinator exists on
+	// that port — the backoff dial must land once it appears.
+	go func() {
+		done <- ServeWorker(ctx, addr, WorkerOptions{
+			Parallel: 1, DialRetry: 10 * time.Second, Token: "sekrit", Reconnect: true,
+		})
+	}()
+	time.Sleep(50 * time.Millisecond) // let at least one dial fail first
+	c2, err := NewCluster(addr, ClusterToken("sekrit"))
+	if err != nil {
+		t.Skipf("port %s not immediately reusable: %v", addr, err)
+	}
+	defer c2.Close()
+	if err := c2.WaitForWorkers(ctx, 1); err != nil {
+		t.Fatal(err)
+	}
+
+	// Auth rejection is permanent even with Reconnect set.
+	bad := make(chan error, 1)
+	go func() {
+		bad <- ServeWorker(ctx, addr, WorkerOptions{
+			Parallel: 1, DialRetry: time.Second, Token: "wrong", Reconnect: true,
+		})
+	}()
+	select {
+	case err := <-bad:
+		if err == nil || !strings.Contains(err.Error(), "unauthorized") {
+			t.Fatalf("bad-token worker returned %v, want unauthorized", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("bad-token worker kept retrying; ErrUnauthorized must be permanent")
+	}
+}
+
+// TestServiceDistributedJob runs a job through sfserve's moving parts in
+// process: a token-guarded cluster with one worker, submitted over HTTP,
+// results identical to a local-only service run.
+func TestServiceDistributedJob(t *testing.T) {
+	cluster, err := NewCluster("127.0.0.1:0", ClusterToken("tok"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go ServeWorker(ctx, cluster.Addr(), WorkerOptions{Parallel: 2, Token: "tok", DialRetry: 5 * time.Second})
+	if err := cluster.WaitForWorkers(ctx, 1); err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := NewService(ServiceConfig{StateDir: t.TempDir(), Cluster: cluster, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	spec := quickSpec()
+	specRaw, _ := json.Marshal(spec)
+	resp, err := http.Post(srv.URL+"/v1/jobs", "application/json",
+		strings.NewReader(`{"tenant":"alice","spec":`+string(specRaw)+`}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var j JobStatus
+	json.NewDecoder(resp.Body).Decode(&j)
+	resp.Body.Close()
+	waitJob(t, s, j.ID)
+	distributed, err := s.JobResults(j.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	local, err := NewService(ServiceConfig{StateDir: t.TempDir(), Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer local.Close()
+	lj, err := local.SubmitJob("alice", 0, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitJob(t, local, lj.ID)
+	ref, err := local.JobResults(lj.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := json.Marshal(distributed)
+	b, _ := json.Marshal(ref)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("distributed job results differ from local-only run\ndistributed: %s\nlocal:       %s", a, b)
+	}
+}
