@@ -10,13 +10,16 @@ package stringfigure_test
 // imported): the experiments layer consumes the public API.
 
 import (
+	"fmt"
 	"runtime"
 	"testing"
 	"time"
 
 	. "repro"
 	"repro/internal/experiments"
+	"repro/internal/netsim"
 	"repro/internal/topology"
+	"repro/internal/traffic"
 )
 
 // BenchmarkFig5_PathLengthComparison regenerates Figure 5: average shortest
@@ -358,6 +361,87 @@ func BenchmarkSweepParallel(b *testing.B) {
 	if parallelSec > 0 {
 		b.ReportMetric(serialSec/parallelSec, "speedup")
 	}
+}
+
+// netsimStepBench drives the raw simulator one cycle per benchmark op on a
+// String Figure network of n nodes at the given injection rate. Warmup fills
+// the network to its steady state (queues at their high-water marks, the
+// packet pool primed), after which the event-driven core must run without
+// heap allocations — allocs/op is reported and gated at 0 by
+// bench_baseline.json, and cycles/s is the perf-trajectory headline.
+func netsimStepBench(b *testing.B, n int, rate float64, reference bool) {
+	b.Helper()
+	sf, err := topology.NewStringFigure(topology.Config{N: n, Ports: 4, Seed: 1, Shortcuts: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := netsim.SFConfig(sf, 1)
+	cfg.ReferenceCore = reference
+	sim, err := netsim.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pat, err := traffic.NewPattern("uniform", n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sim.SetPattern(rate, pat)
+	sim.Run(3000)
+	if sim.Results().Deadlocked {
+		b.Fatal("deadlocked during warmup")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.Run(1)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "cycles/s")
+	if sim.Results().Deadlocked {
+		b.Fatal("deadlocked during measurement")
+	}
+}
+
+// netsimStepGrid is the benchmark load matrix. Rates are fixed fractions of
+// each size's measured saturation rate (N=64: 0.025, N=256: 0.012, N=1024:
+// 0.006 flits/node/cycle under uniform traffic): "low" is 5% of saturation —
+// the flat region of the latency-load curve, where the event core's
+// idle-router skipping dominates — and "mid" is 40%, below the knee but with
+// most routers busy most cycles. Both reach a stable in-flight population,
+// which allocs/op needs to be meaningful (an ever-growing source-queue
+// backlog allocates forever on any core).
+var netsimStepGrid = []struct {
+	n    int
+	load string
+	rate float64
+}{
+	{64, "low", 0.00125}, {64, "mid", 0.01},
+	{256, "low", 0.0006}, {256, "mid", 0.005},
+	{1024, "low", 0.0003}, {1024, "mid", 0.0025},
+}
+
+// BenchmarkNetsimStep is the netsim hot-loop benchmark grid: cycles/s and
+// allocs/op at N=64/256/1024 under low and mid uniform load. These are the
+// numbers the event-driven core rewrite targets; benchgate holds cycles/s
+// above the bench_baseline.json floors and allocs/op at 0.
+func BenchmarkNetsimStep(b *testing.B) {
+	for _, g := range netsimStepGrid {
+		b.Run(fmt.Sprintf("N%d_%s", g.n, g.load), func(b *testing.B) {
+			netsimStepBench(b, g.n, g.rate, false)
+		})
+	}
+}
+
+// BenchmarkNetsimStepRef runs the same N=1024 low-load point on the
+// reference full-scan core: the ratio of NetsimStep/N1024_low to this
+// number is the event-scheduling speedup (same injection scheme, same
+// memory layout, full per-router scan instead of worklists) recorded in
+// every BENCH_*.json. The pre-PR core was slower still — it also paid
+// per-node injection draws and per-cycle allocations.
+func BenchmarkNetsimStepRef(b *testing.B) {
+	b.Run("N1024_low", func(b *testing.B) {
+		netsimStepBench(b, 1024, 0.0003, true)
+	})
 }
 
 // BenchmarkTraceSession measures one closed-loop Figure 12 co-simulation

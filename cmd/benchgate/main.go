@@ -10,9 +10,11 @@
 // benchgate reads the benchmark text from stdin (or -in FILE), parses
 // every result line into {ns/op, custom metrics}, and writes one JSON
 // document with the full parse. When -baseline names an existing file,
-// the gated metrics (throughput-like, higher-is-better: points/s and
-// speedup) are compared benchmark by benchmark: a current value below
-// baseline*(1-tolerance) fails the run with exit 1. Benchmarks present
+// the gated metrics are compared benchmark by benchmark, direction-aware:
+// throughput-like metrics (points/s, speedup, cycles/s) are floors — a
+// current value below baseline*(1-tolerance) fails with exit 1 — and
+// count-like metrics (allocs/op) are hard ceilings with no tolerance, so
+// a 0-allocs baseline fails on the first allocation. Benchmarks present
 // in the baseline but absent from the run — e.g. a parallel benchmark
 // that skips on a single-CPU host — are reported and tolerated, so the
 // gate degrades gracefully across machine shapes.
@@ -57,10 +59,16 @@ type record struct {
 	Benchmarks map[string]benchResult `json:"benchmarks"`
 }
 
-// gatedMetrics are the higher-is-better metrics the baseline comparison
-// enforces; everything else is recorded but not gated (figure-of-merit
-// metrics like sf_sat_pct are simulation outputs, not performance).
-var gatedMetrics = map[string]bool{"points/s": true, "speedup": true}
+// floorMetrics are the higher-is-better metrics the baseline comparison
+// enforces as floors (with -tolerance headroom); everything else is recorded
+// but not gated (figure-of-merit metrics like sf_sat_pct are simulation
+// outputs, not performance).
+var floorMetrics = map[string]bool{"points/s": true, "speedup": true, "cycles/s": true}
+
+// ceilingMetrics are lower-is-better metrics enforced as hard ceilings, with
+// no tolerance: they are deterministic counts, not throughput. A baseline of
+// 0 allocs/op means any allocation in the hot loop fails the gate.
+var ceilingMetrics = map[string]bool{"allocs/op": true}
 
 // benchLine matches `BenchmarkName-P  N  v unit  v unit ...`.
 var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+(.*)$`)
@@ -181,7 +189,7 @@ func main() {
 			continue
 		}
 		for unit, want := range b.Metrics {
-			if !gatedMetrics[unit] {
+			if !floorMetrics[unit] && !ceilingMetrics[unit] {
 				continue
 			}
 			got, ok := cur.Metrics[unit]
@@ -189,8 +197,17 @@ func main() {
 				fmt.Printf("benchgate: %s %s: metric absent from this run; tolerated\n", name, unit)
 				continue
 			}
-			floor := want * (1 - *tolerance)
 			status := "ok"
+			if ceilingMetrics[unit] {
+				if got > want {
+					status = "REGRESSION"
+					failed = true
+				}
+				fmt.Printf("benchgate: %-24s %-10s %10.3f (ceiling %.3f) %s\n",
+					name, unit, got, want, status)
+				continue
+			}
+			floor := want * (1 - *tolerance)
 			if got < floor {
 				status = "REGRESSION"
 				failed = true
@@ -211,7 +228,7 @@ func gatedOnly(in map[string]benchResult) map[string]benchResult {
 	for name, b := range in {
 		m := make(map[string]float64)
 		for unit, v := range b.Metrics {
-			if gatedMetrics[unit] {
+			if floorMetrics[unit] || ceilingMetrics[unit] {
 				m[unit] = v
 			}
 		}

@@ -17,6 +17,12 @@
 // /metrics endpoint (scrape http://ADDR/metrics); combined with -listen
 // the endpoint also exports per-worker cluster liveness, and remote
 // workers' snapshots are forwarded over the wire into the same counters.
+//
+// With -cpuprofile/-memprofile FILE, the run records pprof profiles of
+// whatever experiment it executes — the supported way to profile the
+// netsim hot loop under a full-scale workload (see README, "Profiling").
+// Profiles are written on normal exit; a failed experiment aborts
+// without them.
 package main
 
 import (
@@ -26,6 +32,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"sync"
 	"time"
 
@@ -113,8 +120,40 @@ func main() {
 		workers   = flag.Int("workers", 0, "with -listen: wait for this many workers to connect before running (0 = start immediately, workers may join mid-run)")
 		telemetry = flag.String("telemetry", "", "stream live NDJSON telemetry (interval snapshots; with -listen also per-worker progress) to this file")
 		metricsAt = flag.String("metrics", "", "serve a Prometheus-text /metrics endpoint on this address (host:port) fed by the public-API sweeps; with -listen it also exports per-worker cluster liveness")
+		cpuprof   = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (inspect with `go tool pprof`)")
+		memprof   = flag.String("memprofile", "", "write a heap profile (after a final GC) to this file on exit")
 	)
 	flag.Parse()
+
+	if *cpuprof != "" {
+		f, err := os.Create(*cpuprof)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sfexp: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "sfexp: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprof != "" {
+		defer func() {
+			f, err := os.Create(*memprof)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "sfexp: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows live objects
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "sfexp: %v\n", err)
+			}
+		}()
+	}
 
 	var ms *stringfigure.MetricsServer
 	if *metricsAt != "" {

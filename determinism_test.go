@@ -1,0 +1,178 @@
+package stringfigure
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// The cross-core determinism suite: every scenario below runs twice — on the
+// event-driven netsim core and on the reference full-scan core
+// (SessionConfig.ReferenceCore) — and the two runs are byte-diffed through
+// their JSON encodings, exactly the representation the job service journals
+// (invariant 6). The contract is bit-identity: the event scheduler, packet
+// pooling, batched routing evaluation and the incremental occupancy counter
+// may change nothing observable, for any design, workload or gate schedule.
+
+// coreDiff runs fn under both cores and byte-compares the JSON of whatever
+// it returns (results, snapshot streams, saturation rates...).
+func coreDiff(t *testing.T, label string, fn func(cfg SessionConfig) any, cfg SessionConfig) {
+	t.Helper()
+	encode := func(ref bool) []byte {
+		c := cfg
+		c.ReferenceCore = ref
+		out := fn(c)
+		b, err := json.Marshal(out)
+		if err != nil {
+			t.Fatalf("%s: marshal: %v", label, err)
+		}
+		return b
+	}
+	ev := encode(false)
+	ref := encode(true)
+	if !bytes.Equal(ev, ref) {
+		t.Errorf("%s: cores diverge\nevent: %s\nref:   %s", label, clip(ev), clip(ref))
+	}
+}
+
+func clip(b []byte) string {
+	if len(b) > 600 {
+		return string(b[:600]) + "..."
+	}
+	return string(b)
+}
+
+// sessionOutput bundles a run's Result with its telemetry stream so both are
+// covered by one byte-diff.
+type sessionOutput struct {
+	Result Result
+	Snaps  []TelemetrySnapshot
+}
+
+func mustNet(t *testing.T, design string, nodes int) *Network {
+	t.Helper()
+	net, err := New(WithDesign(design), WithNodes(nodes), WithSeed(11))
+	if err != nil {
+		t.Fatalf("build %s/%d: %v", design, nodes, err)
+	}
+	return net
+}
+
+// TestCrossCoreSessionAllDesigns byte-diffs a synthetic telemetry-enabled
+// Session run between the two cores for all six designs at N=16 and a
+// subset at N=64.
+func TestCrossCoreSessionAllDesigns(t *testing.T) {
+	type scale struct {
+		nodes   int
+		designs []string
+	}
+	scales := []scale{
+		{16, Designs()},
+		{64, []string{"dm", "sf"}},
+	}
+	for _, sc := range scales {
+		for _, d := range sc.designs {
+			t.Run(d, func(t *testing.T) {
+				net := mustNet(t, d, sc.nodes)
+				base := SessionConfig{Rate: 0.08, Warmup: 400, Measure: 1600, Seed: 9}
+				coreDiff(t, d, func(cfg SessionConfig) any {
+					var snaps []TelemetrySnapshot
+					cfg = cfg.WithTelemetry(256, func(s TelemetrySnapshot) {
+						snaps = append(snaps, s)
+					})
+					res, err := net.NewSession(cfg).Run(SyntheticWorkload{Pattern: "uniform"})
+					if err != nil {
+						t.Fatal(err)
+					}
+					return sessionOutput{Result: res, Snaps: snaps}
+				}, base)
+			})
+		}
+	}
+}
+
+// TestCrossCoreTraceAllDesigns byte-diffs a trace-driven (closed-loop memory
+// co-simulation) run between the two cores for all six designs.
+func TestCrossCoreTraceAllDesigns(t *testing.T) {
+	workload := TraceWorkloads()[0]
+	for _, d := range Designs() {
+		t.Run(d, func(t *testing.T) {
+			net := mustNet(t, d, 16)
+			base := SessionConfig{Seed: 5, Ops: 400, Sockets: 2, MaxCycles: 3_000_000}
+			coreDiff(t, d, func(cfg SessionConfig) any {
+				var snaps []TelemetrySnapshot
+				cfg = cfg.WithTelemetry(2048, func(s TelemetrySnapshot) {
+					snaps = append(snaps, s)
+				})
+				res, err := net.NewSession(cfg).Run(TraceWorkload{Workload: workload})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return sessionOutput{Result: res, Snaps: snaps}
+			}, base)
+		})
+	}
+}
+
+// TestCrossCoreSweepAndSaturation byte-diffs multi-point sweeps (2 workers)
+// for every design and a saturation search for two designs.
+func TestCrossCoreSweepAndSaturation(t *testing.T) {
+	points := RateSweep(SyntheticWorkload{Pattern: "uniform"}, []float64{0.05, 0.15, 0.3})
+	for _, d := range Designs() {
+		t.Run("sweep/"+d, func(t *testing.T) {
+			net := mustNet(t, d, 16)
+			base := SessionConfig{Warmup: 300, Measure: 1200, Seed: 21}
+			coreDiff(t, d, func(cfg SessionConfig) any {
+				return net.SweepAll(cfg, points, 2)
+			}, base)
+		})
+	}
+	for _, d := range []string{"sf", "fb"} {
+		t.Run("saturation/"+d, func(t *testing.T) {
+			net := mustNet(t, d, 16)
+			base := SessionConfig{Warmup: 200, Measure: 800, Seed: 3}
+			coreDiff(t, d, func(cfg SessionConfig) any {
+				rate, err := net.Saturation(SyntheticWorkload{Pattern: "uniform"}, cfg,
+					SaturationConfig{Step: 0.1, MaxRate: 0.5, Workers: 2})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return rate
+			}, base)
+		})
+	}
+}
+
+// TestCrossCoreGatedTelemetry byte-diffs a full gate-schedule run — gate a
+// node quadrant off and back on under live telemetry — between the two
+// cores. This covers the reconfiguration machinery end to end: escape-route
+// swaps, link wake-latency charging, routing-table mutation between Run
+// slices, and the 100 us epoch deferral.
+func TestCrossCoreGatedTelemetry(t *testing.T) {
+	quadrant := []int{8, 9, 10, 11}
+	var gates []GateEvent
+	for _, v := range quadrant {
+		gates = append(gates, GateEvent{Cycle: 3000, Node: v, On: false})
+	}
+	for _, v := range quadrant {
+		gates = append(gates, GateEvent{Cycle: 3000 + 31250, Node: v, On: true})
+	}
+	for _, d := range []string{"sf"} { // the only reconfigurable design
+		t.Run(d, func(t *testing.T) {
+			net := mustNet(t, d, 32)
+			base := SessionConfig{Rate: 0.08, Warmup: 500, Measure: 40_000, Seed: 7,
+				TelemetryEvery: 1000, Gates: gates}
+			coreDiff(t, d, func(cfg SessionConfig) any {
+				var snaps []TelemetrySnapshot
+				cfg = cfg.WithTelemetry(0, func(s TelemetrySnapshot) {
+					snaps = append(snaps, s)
+				})
+				res, err := net.NewSession(cfg).Run(SyntheticWorkload{Pattern: "uniform"})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return sessionOutput{Result: res, Snaps: snaps}
+			}, base)
+		})
+	}
+}

@@ -1,0 +1,141 @@
+package netsim
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+// runBothCores runs the same scenario on the event-driven and reference
+// cores and returns their results and snapshot streams.
+func runBothCores(t *testing.T, cfg Config, drive func(s *Sim)) (evRes, refRes Results, evSnaps, refSnaps []Snapshot) {
+	t.Helper()
+	run := func(ref bool) (Results, []Snapshot) {
+		c := cfg
+		c.ReferenceCore = ref
+		var snaps []Snapshot
+		c.SnapshotEvery = 64
+		c.OnSnapshot = func(sn Snapshot) { snaps = append(snaps, sn) }
+		s, err := New(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		drive(s)
+		return s.Results(), snaps
+	}
+	evRes, evSnaps = run(false)
+	refRes, refSnaps = run(true)
+	return
+}
+
+// checkCores fails the test unless both cores produced identical results
+// and snapshot streams.
+func checkCores(t *testing.T, cfg Config, drive func(s *Sim)) {
+	t.Helper()
+	evRes, refRes, evSnaps, refSnaps := runBothCores(t, cfg, drive)
+	if !reflect.DeepEqual(evRes, refRes) {
+		t.Errorf("results diverge:\nevent: %+v\nref:   %+v", evRes, refRes)
+	}
+	if !reflect.DeepEqual(evSnaps, refSnaps) {
+		t.Errorf("snapshot streams diverge: %d vs %d snapshots", len(evSnaps), len(refSnaps))
+		for i := 0; i < len(evSnaps) && i < len(refSnaps); i++ {
+			if !reflect.DeepEqual(evSnaps[i], refSnaps[i]) {
+				t.Errorf("first divergent snapshot %d:\nevent: %+v\nref:   %+v", i, evSnaps[i], refSnaps[i])
+				break
+			}
+		}
+	}
+}
+
+// TestCrossCoreSyntheticSF pins bit-identity of the event-driven core
+// against the reference full-scan core on a String Figure network across
+// load levels, including loads past saturation.
+func TestCrossCoreSyntheticSF(t *testing.T) {
+	sf, err := topology.NewStringFigure(topology.Config{N: 32, Ports: 4, Seed: 3, Shortcuts: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pat, err := traffic.NewPattern("uniform", 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rate := range []float64{0.02, 0.1, 0.4} {
+		cfg := SFConfig(sf, 7)
+		checkCores(t, cfg, func(s *Sim) {
+			s.SetPattern(rate, pat)
+			s.Run(600)
+			s.ResetStats()
+			s.Run(1500)
+			// Drain tail: stop injecting and let the network empty, which
+			// exercises router deactivation and reactivation.
+			s.SetPattern(0, pat)
+			s.Run(800)
+			s.SetPattern(rate, pat)
+			s.Run(400)
+		})
+	}
+}
+
+// TestCrossCoreTraceAndClosedLoop pins bit-identity under trace-driven
+// injection plus an OnDelivered closed loop (the memory co-simulation
+// pattern: callbacks inject responses mid-phase).
+func TestCrossCoreTraceAndClosedLoop(t *testing.T) {
+	sf, err := topology.NewStringFigure(topology.Config{N: 24, Ports: 4, Seed: 11, Shortcuts: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []TraceEvent
+	for c := int64(0); c < 400; c += 3 {
+		events = append(events, TraceEvent{Cycle: c, Src: int(c) % 24, Dst: int(c*7+5) % 24})
+	}
+	cfg := SFConfig(sf, 5)
+	base := cfg
+	checkCores(t, base, func(s *Sim) {
+		s.SetTrace(events)
+		// Closed loop: every delivery to an even node triggers a response.
+		s.SetEscapeRoute(cfg.EscapeRoute)
+		responded := 0
+		s.cfg.OnDelivered = func(src, dst int, tag int64) {
+			if dst%2 == 0 && responded < 200 {
+				responded++
+				s.Inject(dst, src, 2, tag+1)
+			}
+		}
+		s.Run(2000)
+	})
+}
+
+// TestCrossCoreMidRunHooks pins bit-identity while the mid-run hooks used
+// by gate schedules fire: routing-table mutation between Run slices, link
+// latency swaps (wake charging), and escape-route swaps.
+func TestCrossCoreMidRunHooks(t *testing.T) {
+	sf, err := topology.NewStringFigure(topology.Config{N: 24, Ports: 4, Seed: 9, Shortcuts: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pat, err := traffic.NewPattern("uniform", 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := SFConfig(sf, 13)
+	checkCores(t, cfg, func(s *Sim) {
+		s.SetPattern(0.15, pat)
+		s.Run(300)
+		// Charge extra latency on every link out of node 0 with a fixed
+		// deadline, as reconfiguration wake charging does.
+		deadline := s.Cycle() + 40
+		s.SetLinkLatency(func(u, v int) int {
+			if u == 0 || v == 0 {
+				if rem := deadline - s.Cycle(); rem > DefaultLinkLatency {
+					return int(rem)
+				}
+			}
+			return DefaultLinkLatency
+		})
+		s.Run(200)
+		s.SetLinkLatency(nil)
+		s.Run(500)
+	})
+}

@@ -32,28 +32,28 @@ func TestDebugStuckState(t *testing.T) {
 	for _, r := range s.routers {
 		for i := range r.in {
 			iu := &r.in[i]
-			if len(iu.q) == 0 {
+			if iu.q.Len() == 0 {
 				continue
 			}
 			count++
 			if count > 12 {
 				break
 			}
-			f := iu.q[0]
+			f := *iu.q.front()
 			port := i / s.cfg.VCs
 			vc := i % s.cfg.VCs
 			var creditStr string
 			if iu.route >= 0 && iu.route < len(r.outNbr) {
+				o := r.ovcs[iu.route*s.cfg.VCs+iu.outVC]
 				creditStr = fmt.Sprintf("credits[route][outVC]=%d owner=%d",
-					r.credits[iu.route*s.cfg.VCs+iu.outVC],
-					r.outOwner[iu.route*s.cfg.VCs+iu.outVC])
+					o.cred, o.owner)
 			}
 			t.Logf("router %d inPort %d (up=%d) vc %d: qlen=%d route=%d outVC=%d blocked=%d head=%v tail=%v pkt(src=%d dst=%d advc=%d) %s",
-				r.id, port, r.inUp[port], vc, len(iu.q), iu.route, iu.outVC, iu.blocked,
+				r.id, port, r.inUp[port], vc, iu.q.Len(), iu.route, iu.outVC, iu.blocked,
 				f.head, f.tail, f.pkt.src, f.pkt.dst, f.pkt.advc, creditStr)
 		}
-		if len(r.srcQ) > 0 {
-			t.Logf("router %d srcQ len=%d", r.id, len(r.srcQ))
+		if r.srcQ.Len() > 0 {
+			t.Logf("router %d srcQ len=%d", r.id, r.srcQ.Len())
 		}
 	}
 	t.Fatalf("network stuck with %d flits in flight", s.Results().InFlight)

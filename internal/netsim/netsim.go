@@ -2,6 +2,8 @@ package netsim
 
 import (
 	"fmt"
+	"math"
+	"math/bits"
 	"math/rand"
 
 	"repro/internal/routing"
@@ -71,6 +73,14 @@ type Config struct {
 	SnapshotEvery int64
 	// OnSnapshot receives interval snapshots; callbacks run inside Run.
 	OnSnapshot func(Snapshot)
+	// ReferenceCore selects the full-scan simulation core: every router is
+	// visited every cycle, candidate next hops come from the allocating
+	// routing.Algorithm.Candidates path, and occupancy is counted by
+	// walking every queue. It is the seed-equivalent slow path kept for
+	// differential testing — the cross-core determinism suite byte-diffs
+	// its Results and Snapshots against the event-driven core, which must
+	// match bit for bit.
+	ReferenceCore bool
 	// Seed drives injection randomness.
 	Seed int64
 }
@@ -114,13 +124,16 @@ func (c *Config) fill() error {
 	return nil
 }
 
-// packet is one in-flight packet.
+// packet is one in-flight packet. Packets are pooled: a packet returns to
+// the free list when its last flit retires (ejects or is purged), so
+// steady-state injection allocates nothing.
 type packet struct {
 	id       int64
 	tag      int64 // caller-supplied correlation tag (closed-loop clients)
 	src, dst int
 	advc     int // assigned adaptive VC
 	size     int
+	left     int // flits not yet retired; 0 returns the packet to the pool
 	injected int64
 	hops     int
 	// escaped commits the packet to the escape subnetwork. Commitment is
@@ -142,10 +155,12 @@ type flit struct {
 
 // inputUnit is one (input port, VC) buffer with its current route state.
 type inputUnit struct {
-	q       []flit
-	route   int // assigned output port, -1 when the head packet is unrouted
-	outVC   int // VC on the next link, set with route
-	blocked int // consecutive cycles the routed head flit failed to move
+	q       ring[flit]
+	route   int   // assigned output port, -1 when the head packet is unrouted
+	outVC   int   // VC on the next link, set with route
+	blocked int   // consecutive cycles the routed head flit failed to move
+	port    int32 // this unit's input port (unit index / VCs, precomputed)
+	vc      int32 // this unit's buffer VC (unit index % VCs, precomputed)
 }
 
 // inflight is a flit traversing a link.
@@ -154,35 +169,118 @@ type inflight struct {
 	arrive int64
 }
 
+// ovc is one output-VC arbitration record (see router.ovcs).
+type ovc struct {
+	owner int32
+	cred  int32
+}
+
+// linkLoc locates a global link index at its owning router (see Sim.linkAt).
+type linkLoc struct {
+	rtr  int32
+	port int32
+}
+
 // router holds the per-node microarchitecture.
 type router struct {
 	id int
 	// outNbr[p] is the downstream node of output port p.
 	outNbr []int
-	// outPortOf maps a neighbor node to the local output port.
-	outPortOf map[int]int
 	// inUp[p] is the upstream node of input port p; the last input port is
 	// the injection port (upstream -1).
 	inUp []int
-	// inPortOf maps an upstream node to the local input port.
-	inPortOf map[int]int
+	// upOutPort[p] is the output-port index at upstream router inUp[p]
+	// whose link feeds input port p — the dense replacement for the old
+	// per-router outPortOf map on the credit-return path. Undefined for
+	// the injection port.
+	upOutPort []int32
+	// downInPort[p] is the input-port index at downstream router outNbr[p]
+	// fed by output port p — the dense replacement for the old inPortOf
+	// map on the link-delivery path.
+	downInPort []int32
 	// in[p*VCs+v] are the input units.
 	in []inputUnit
-	// credits[p*VCs+v] are the free downstream slots per output port + VC.
-	credits []int
 	// links[p] is the delay line of output port p.
-	links [][]inflight
+	links []ring[inflight]
+	// linkBase is the global link id of output port 0 (ports are numbered
+	// consecutively); the event calendar keys links by linkBase+p.
+	linkBase int32
 	// rr[p] is the round-robin pointer of output port p over input units.
 	rr []int
-	// outOwner[p*VCs+v] is the input unit currently holding output VC v of
-	// port p (-1 when free): wormhole switching must not interleave flits
-	// of different packets on one virtual channel.
-	outOwner []int
+	// ovcs[p*VCs+v] is the merged per-(output port, VC) arbitration state:
+	// the wormhole owner unit (-1 when free — switching must not
+	// interleave flits of different packets on one virtual channel) and
+	// the free downstream buffer slots. Packing both into one word keeps
+	// the grant scan's ownership and credit checks on a single cache
+	// line. The eject port's entries carry no credits (ejection is
+	// always free); scans check out < eject before reading cred.
+	ovcs []ovc
 	// srcQ is the unbounded source queue feeding the injection port.
-	srcQ []flit
+	srcQ ring[flit]
 	// queued counts flits across all input units; idle routers (queued==0
-	// and empty srcQ) skip routing and arbitration entirely.
+	// and empty srcQ) leave the active worklist entirely.
 	queued int
+	// occ is a bitmask over input units: bit i is set iff in[i] has at
+	// least one queued flit. The event core's route pass iterates set bits
+	// (ascending — the same order as the reference scan); the reference
+	// core ignores it.
+	occ []uint64
+	// attn is the subset of occ the route pass must actually look at: units
+	// whose front flit has no route yet, plus route-assigned units whose
+	// starvation counter crossed the escape-diversion threshold. Every other
+	// occupied unit is a no-op for routeUnit, so the event core skips it.
+	attn []uint64
+	// cand[out*candW...] is a bitmask per output port over input units:
+	// bit i is set iff in[i] has a queued flit routed to out. The event
+	// core's arbitration visits only these bits (rotated to round-robin
+	// order); outputs with an empty mask are skipped entirely via candOuts.
+	cand  []uint64
+	candW int
+	// candOuts is a bitmask over output ports: bit out is set iff cand has
+	// any bit set for out.
+	candOuts []uint64
+	// parked is a bitmask over output ports the event core's arbitration
+	// skips: the last scan granted nothing and observed no live starvation
+	// counter, and nothing that could change either has happened since. A
+	// parked output's credits can only grow via the unpark hook (downstream
+	// credit returns), its owners cannot release (that takes a grant on the
+	// output itself), and its candidate set can only shrink — so rescanning
+	// it would read the same state, grant nothing, and bump only write-only
+	// counters (a starvation counter on an escape VC is never read before
+	// the next reset, and the escape-diversion check ignores escape VCs).
+	parked []uint64
+}
+
+// unitFilled/unitEmptied maintain occ on queue emptiness transitions.
+func (r *router) unitFilled(i int)  { r.occ[i>>6] |= 1 << uint(i&63) }
+func (r *router) unitEmptied(i int) { r.occ[i>>6] &^= 1 << uint(i&63) }
+
+// attnSet/attnClear maintain the route pass worklist. attn ⊆ occ: bits are
+// only set for units known to hold a queued flit.
+func (r *router) attnSet(i int)   { r.attn[i>>6] |= 1 << uint(i&63) }
+func (r *router) attnClear(i int) { r.attn[i>>6] &^= 1 << uint(i&63) }
+
+// candSet/candClear maintain the per-output candidate masks on route
+// assignment and release, keeping candOuts in sync. A new (or re-routed)
+// candidate can change a parked output's arbitration outcome, so candSet
+// also unparks.
+func (r *router) candSet(out, i int) {
+	r.cand[out*r.candW+i>>6] |= 1 << uint(i&63)
+	r.candOuts[out>>6] |= 1 << uint(out&63)
+	r.unpark(out)
+}
+
+func (r *router) park(out int)   { r.parked[out>>6] |= 1 << uint(out&63) }
+func (r *router) unpark(out int) { r.parked[out>>6] &^= 1 << uint(out&63) }
+
+func (r *router) candClear(out, i int) {
+	r.cand[out*r.candW+i>>6] &^= 1 << uint(i&63)
+	for _, w := range r.cand[out*r.candW : (out+1)*r.candW] {
+		if w != 0 {
+			return
+		}
+	}
+	r.candOuts[out>>6] &^= 1 << uint(out&63)
 }
 
 // Sim is one simulation instance.
@@ -193,15 +291,84 @@ type Sim struct {
 	cycle   int64
 	nextID  int64
 
-	res       Results
-	lastMove  int64
-	trafficFn func(cycle int64, src int, rng *rand.Rand) (dst int, ok bool)
-	trace     []TraceEvent
-	tracePos  int
+	res      Results
+	lastMove int64
+	trace    []TraceEvent
+	tracePos int
+
+	// Synthetic injection state: the Bernoulli(injRate) trial sequence
+	// over (cycle, node) pairs is realized by geometric skip-sampling —
+	// injSkip counts the failed trials remaining before the next success
+	// (-1: not yet drawn). One RNG draw per injection instead of one per
+	// node per cycle; both cores share this path, so the draw sequence
+	// stays part of the cross-core determinism contract.
+	injRate    float64
+	injPattern func(src int, rng *rand.Rand) (dst int, ok bool)
+	injSkip    int64
 
 	// snapBase is the counter baseline of the current telemetry interval;
 	// emitSnapshot advances it and ResetStats re-anchors it.
 	snapBase snapBase
+
+	// active is the worklist of routers with queued or waiting flits. The
+	// wake calendar of pending link arrivals is split between wheel (a
+	// timing wheel of the next wheelSize cycles, O(1) per wake) and events
+	// (the overflow heap for far wakes). All are maintained only by the
+	// event-driven core (the reference core scans).
+	active activeSet
+	wheel  [wheelSize][]int32
+	events eventHeap
+	// linkAt[l] locates global link l: the router owning it and its output
+	// port there, in one record so a wake touches one cache line.
+	linkAt []linkLoc
+
+	// flitsIn tracks network occupancy (source queues + input units +
+	// links) incrementally; the reference core recounts by scanning, which
+	// is how the determinism suite cross-checks the counter.
+	flitsIn int
+
+	// pool is the packet free list.
+	pool []*packet
+
+	// portStamp/portVal implement the neighbor-to-output-port lookup
+	// without per-router maps: portOf stamps the current router's
+	// neighbors on demand and a stamp hit identifies the port. outNbr is
+	// immutable after New, so stamps of the most recently stamped router
+	// never go stale.
+	portRouter int
+	portStamp  []int32
+	portVal    []int32
+
+	// Candidate memo of the batched routing pass: one routing-metric
+	// evaluation per (router pass, destination) instead of one per flit.
+	// Valid for a single (router, cycle); gate schedules mutate routing
+	// tables only between Run slices, which is always a cycle boundary.
+	memoRouter int
+	memoCycle  int64
+	memoKeys   []int32
+	memoOffs   []int32
+	memoBuf    []int
+	rsc        routing.Scratch
+	balg       routing.BufferedAlgorithm // non-nil when Alg supports batching
+
+	// rcPort is the event core's persistent route cache: the resolved
+	// routing outcome per (cur, dst) pair, indexed cur*n + dst. At any
+	// hop where the adaptive policy does not apply (every hop beyond the
+	// source under AdaptiveFirstHop), the candidates → pickPort decision
+	// depends only on the routing tables and static coordinates — never
+	// on credits or other dynamic state — so its outcome stays valid
+	// across cycles until the tables mutate. Entries hold the chosen
+	// output port, rcNoRoute (no adaptive candidates: escape or drop),
+	// rcNoPort (candidates resolve to no usable port: drop), or rcEmpty
+	// (not yet computed). InvalidateRoutes resets the cache; the
+	// scheduled-gates path flushes it via SetEscapeRoute, which its
+	// apply step always calls right after mutating tables.
+	rcPort []int8
+
+	// scanSawLive is set by noteBlocked during a grant scan when a blocked
+	// candidate's starvation counter is live (adaptive VC, head at front):
+	// such an output must keep being rescanned every cycle and cannot park.
+	scanSawLive bool
 }
 
 // TraceEvent is one trace-driven packet injection.
@@ -217,41 +384,134 @@ func New(cfg Config) (*Sim, error) {
 		return nil, err
 	}
 	n := len(cfg.Out)
-	s := &Sim{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
-	s.routers = make([]*router, n)
-	for v := 0; v < n; v++ {
-		r := &router{id: v, outPortOf: make(map[int]int), inPortOf: make(map[int]int)}
-		for _, w := range cfg.Out[v] {
-			r.outPortOf[w] = len(r.outNbr)
-			r.outNbr = append(r.outNbr, w)
+	s := &Sim{
+		cfg:        cfg,
+		rng:        rand.New(rand.NewSource(cfg.Seed)),
+		portRouter: -1,
+		memoRouter: -1,
+	}
+	// The persistent route cache is quadratic in n (one byte per pair);
+	// skip it beyond ~16M pairs (16 MiB), or when a port index would not
+	// fit the byte encoding — the fast path degrades to the per-pass
+	// memo. The reference core never consults it.
+	maxPorts := 0
+	for _, row := range cfg.Out {
+		if len(row) > maxPorts {
+			maxPorts = len(row)
 		}
+	}
+	if !cfg.ReferenceCore && n*n <= 1<<24 && maxPorts < 125 {
+		s.rcPort = make([]int8, n*n)
+		s.InvalidateRoutes()
+	}
+	s.routers = make([]*router, n)
+	rarena := make([]router, n) // contiguous router structs: s.routers[v] derefs stay in cache
+	for v := 0; v < n; v++ {
+		r := &rarena[v]
+		r.id = v
+		r.outNbr = append(r.outNbr, cfg.Out[v]...)
 		s.routers[v] = r
 	}
-	// Wire input ports from the out-adjacency.
+	// Wire input ports from the out-adjacency; record the dense port
+	// tables for both directions of every link as we go.
 	for v := 0; v < n; v++ {
-		for _, w := range cfg.Out[v] {
+		r := s.routers[v]
+		for p, w := range cfg.Out[v] {
 			rw := s.routers[w]
-			rw.inPortOf[v] = len(rw.inUp)
+			r.downInPort = append(r.downInPort, int32(len(rw.inUp)))
 			rw.inUp = append(rw.inUp, v)
+			rw.upOutPort = append(rw.upOutPort, int32(p))
 		}
 	}
+	// Per-router hot state (input units, candidate bitmasks, output VC
+	// records, link delay-line headers, round-robin cursors) is carved out
+	// of shared arenas rather than allocated per router: the hot loop walks
+	// these structures across many routers per cycle, and scattering them
+	// through the heap makes the walk memory-latency bound at low load.
+	var totIn, totW, totCand, totOut64, totOvc, totLinks, totRR int
 	for _, r := range s.routers {
 		r.inUp = append(r.inUp, -1) // injection port
-		nin := len(r.inUp)
-		r.in = make([]inputUnit, nin*cfg.VCs)
+		r.upOutPort = append(r.upOutPort, -1)
+		nin := len(r.inUp) * cfg.VCs
+		w := (nin + 63) / 64
+		nout := len(r.outNbr)
+		totIn += nin
+		totW += w
+		totCand += (nout + 1) * w
+		totOut64 += (nout + 1 + 63) / 64
+		totOvc += (nout + 1) * cfg.VCs
+		totLinks += nout
+		totRR += nout + 1
+	}
+	inA := make([]inputUnit, totIn)
+	// One bitmask arena, carved per router in access order (occ, attn,
+	// candOuts, parked, cand): a router's whole worklist state spans a
+	// couple of adjacent cache lines.
+	maskA := make([]uint64, 2*totW+2*totOut64+totCand)
+	ovcA := make([]ovc, totOvc)
+	linkA := make([]ring[inflight], totLinks)
+	rrA := make([]int, totRR)
+	// Pre-seed the ring buffers too: input units at their credit-capped
+	// high-water mark (BufFlits rounded up to the ring's power-of-two), link
+	// delay lines at a small default. Queues that outgrow the seed (deep
+	// delay lines under gating wake charges) fall back to ring.grow.
+	fcap := 1
+	for fcap < cfg.BufFlits {
+		fcap <<= 1
+	}
+	flitA := make([]flit, totIn*fcap)
+	infA := make([]inflight, totLinks*4)
+	carve := func(n int, a *[]uint64) []uint64 {
+		s := (*a)[:n:n]
+		*a = (*a)[n:]
+		return s
+	}
+	links := 0
+	for _, r := range s.routers {
+		nin := len(r.inUp) * cfg.VCs
+		nout := len(r.outNbr)
+		r.in, inA = inA[:nin:nin], inA[nin:]
 		for i := range r.in {
 			r.in[i].route = -1
+			r.in[i].port = int32(i / cfg.VCs)
+			r.in[i].vc = int32(i % cfg.VCs)
+			r.in[i].q.buf, flitA = flitA[:fcap:fcap], flitA[fcap:]
 		}
-		r.credits = make([]int, len(r.outNbr)*cfg.VCs)
-		for i := range r.credits {
-			r.credits[i] = cfg.BufFlits
+		r.links, linkA = linkA[:nout:nout], linkA[nout:]
+		for p := range r.links {
+			r.links[p].buf, infA = infA[:4:4], infA[4:]
 		}
-		r.links = make([][]inflight, len(r.outNbr))
-		r.rr = make([]int, len(r.outNbr)+1) // +1 for the ejection port
-		r.outOwner = make([]int, (len(r.outNbr)+1)*cfg.VCs)
-		for i := range r.outOwner {
-			r.outOwner[i] = -1
+		r.linkBase = int32(links)
+		links += nout
+		r.rr, rrA = rrA[:nout+1:nout+1], rrA[nout+1:] // +1 for the ejection port
+		r.candW = (nin + 63) / 64
+		r.occ = carve(r.candW, &maskA)
+		r.attn = carve(r.candW, &maskA)
+		r.candOuts = carve((nout+1+63)/64, &maskA)
+		r.parked = carve((nout+1+63)/64, &maskA)
+		r.cand = carve((nout+1)*r.candW, &maskA)
+		r.ovcs, ovcA = ovcA[:(nout+1)*cfg.VCs:(nout+1)*cfg.VCs], ovcA[(nout+1)*cfg.VCs:]
+		for i := range r.ovcs {
+			r.ovcs[i].owner = -1
+			if i < nout*cfg.VCs {
+				r.ovcs[i].cred = int32(cfg.BufFlits)
+			}
 		}
+	}
+	s.linkAt = make([]linkLoc, links)
+	for _, r := range s.routers {
+		for p := range r.outNbr {
+			s.linkAt[r.linkBase+int32(p)] = linkLoc{rtr: int32(r.id), port: int32(p)}
+		}
+	}
+	s.active = newActiveSet(n)
+	s.portStamp = make([]int32, n)
+	s.portVal = make([]int32, n)
+	for i := range s.portStamp {
+		s.portStamp[i] = -1
+	}
+	if ba, ok := cfg.Alg.(routing.BufferedAlgorithm); ok {
+		s.balg = ba
 	}
 	s.res.MinInjectLatency = -1
 	return s, nil
@@ -259,14 +519,15 @@ func New(cfg Config) (*Sim, error) {
 
 // SetPattern installs a synthetic traffic source: every cycle each node
 // injects a packet with probability rate toward pattern(src, rng); the
-// pattern returns ok=false to skip (e.g. self-addressed traffic).
+// pattern returns ok=false to skip (e.g. self-addressed traffic). The
+// Bernoulli trials are realized by geometric skip-sampling — the same
+// process in distribution as a per-node draw each cycle, at one RNG draw
+// per injection — so at low load the cost of injection scales with traffic,
+// not with network size. Installing a pattern restarts the trial sequence.
 func (s *Sim) SetPattern(rate float64, pattern func(src int, rng *rand.Rand) (int, bool)) {
-	s.trafficFn = func(cycle int64, src int, rng *rand.Rand) (int, bool) {
-		if rng.Float64() >= rate {
-			return 0, false
-		}
-		return pattern(src, rng)
-	}
+	s.injRate = rate
+	s.injPattern = pattern
+	s.injSkip = -1
 }
 
 // SetTrace installs trace-driven injection. Events must be sorted by cycle.
@@ -295,17 +556,43 @@ func (s *Sim) Run(cycles int64) {
 	}
 }
 
-// step advances one network cycle.
+// step advances one network cycle. The event-driven core only touches
+// routers on the active worklist and links on the wake calendar; the
+// reference core scans everything. Both cores share every data structure
+// and state transition, so their per-cycle evolution is bit-identical —
+// the phase structure (deliver, inject, drain all, then route+arbitrate in
+// ascending router order) is what the determinism contract pins, and it is
+// preserved exactly (see ARCHITECTURE.md, "Hot loop").
 func (s *Sim) step() {
-	s.deliverLinkFlits()
-	s.inject()
-	s.drainSourceQueues()
-	for _, r := range s.routers {
-		if r.queued == 0 {
-			continue
+	if s.cfg.ReferenceCore {
+		s.deliverLinkFlitsRef()
+		s.inject()
+		for _, r := range s.routers {
+			s.drainSourceQueue(r)
 		}
-		s.routeHeads(r)
-		s.arbitrate(r)
+		for _, r := range s.routers {
+			if r.queued == 0 {
+				continue
+			}
+			s.routeHeads(r)
+			s.arbitrate(r)
+		}
+	} else {
+		s.deliverLinkFlits()
+		s.inject()
+		s.active.forEach(func(v int) {
+			s.drainSourceQueue(s.routers[v])
+		})
+		s.active.forEach(func(v int) {
+			r := s.routers[v]
+			if r.queued > 0 {
+				s.routeHeads(r)
+				s.arbitrate(r)
+			}
+			if r.queued == 0 && r.srcQ.Len() == 0 {
+				s.active.clear(v)
+			}
+		})
 	}
 	s.cycle++
 	if s.cfg.OnSnapshot != nil && s.cfg.SnapshotEvery > 0 &&
@@ -317,38 +604,151 @@ func (s *Sim) step() {
 	}
 }
 
-// deliverLinkFlits moves flits whose link delay elapsed into downstream
-// input buffers. Space is guaranteed by the credit protocol.
+// deliverLinkFlits drains due wakes off the wake calendar — the overflow
+// heap first, then this cycle's wheel bucket — and moves the arrived prefix
+// of each woken line into downstream input buffers. Space is guaranteed by
+// the credit protocol. Same-cycle deliveries on distinct links commute —
+// each input unit is fed by exactly one link — so the drain order cannot
+// influence results.
 func (s *Sim) deliverLinkFlits() {
+	for len(s.events) > 0 && s.events[0].arrive <= s.cycle {
+		s.wakeLink(s.events.pop().link)
+	}
+	b := &s.wheel[s.cycle&wheelMask]
+	// Re-arms from wakeLink always target a later cycle, hence a different
+	// bucket: plain indexed iteration is safe.
+	for i := 0; i < len(*b); i++ {
+		s.wakeLink((*b)[i])
+	}
+	*b = (*b)[:0]
+}
+
+// wakeLink delivers the arrived prefix of one link's delay line and re-arms
+// the line's wake for its new head.
+func (s *Sim) wakeLink(link int32) {
+	at := s.linkAt[link]
+	r := s.routers[at.rtr]
+	p := int(at.port)
+	q := &r.links[p]
+	moved := 0
+	for q.Len() > 0 && q.front().arrive <= s.cycle {
+		s.deliverFlit(r, p, q.popFront().f)
+		moved++
+	}
+	if q.Len() > 0 {
+		s.scheduleWake(q.front().arrive, link)
+	}
+	if moved > 0 {
+		s.lastMove = s.cycle
+	}
+}
+
+// scheduleWake arms the wake calendar for one link: the timing wheel within
+// its span, the overflow heap beyond it.
+func (s *Sim) scheduleWake(arrive int64, link int32) {
+	if arrive-s.cycle < wheelSize {
+		s.wheel[arrive&wheelMask] = append(s.wheel[arrive&wheelMask], link)
+	} else {
+		s.events.push(linkEvent{arrive: arrive, link: link})
+	}
+}
+
+// deliverLinkFlitsRef is the reference core's full-scan delivery pass.
+func (s *Sim) deliverLinkFlitsRef() {
 	for _, r := range s.routers {
-		for p, q := range r.links {
+		for p := range r.links {
+			q := &r.links[p]
 			moved := 0
-			for moved < len(q) && q[moved].arrive <= s.cycle {
-				f := q[moved].f
-				dn := s.routers[r.outNbr[p]]
-				ip := dn.inPortOf[r.id]
-				unit := &dn.in[ip*s.cfg.VCs+f.vc]
-				unit.q = append(unit.q, f)
-				dn.queued++
+			for q.Len() > 0 && q.front().arrive <= s.cycle {
+				s.deliverFlit(r, p, q.popFront().f)
 				moved++
 			}
 			if moved > 0 {
-				r.links[p] = q[moved:]
 				s.lastMove = s.cycle
 			}
 		}
 	}
 }
 
-// inject enqueues new packets into source queues.
+// deliverFlit lands one flit from r's output port p downstream.
+func (s *Sim) deliverFlit(r *router, p int, f flit) {
+	dn := s.routers[r.outNbr[p]]
+	unit := int(r.downInPort[p])*s.cfg.VCs + f.vc
+	iu := &dn.in[unit]
+	wasEmpty := iu.q.Len() == 0
+	iu.q.push(f)
+	dn.queued++
+	s.active.set(dn.id)
+	if wasEmpty {
+		dn.unitFilled(unit)
+		if iu.route >= 0 {
+			dn.candSet(iu.route, unit)
+		} else if !s.routeFront(dn, iu, unit, f) {
+			dn.attnSet(unit)
+		}
+	}
+}
+
+// routeFront tries to resolve the route of a head flit that just became
+// the front of an input unit, straight from the persistent route cache —
+// the event core's shortcut past the attention pass. Deliveries all happen
+// before any router's route pass, and the outcomes served here (ejection,
+// cached table-deterministic ports) depend on no dynamic state, so
+// assigning them during delivery is indistinguishable from routeUnit
+// assigning them later the same cycle. Any case this cannot decide
+// identically — first hops, escape traffic, cache misses, drop outcomes —
+// is declined, leaving the unit on the attention path for routeUnit.
+func (s *Sim) routeFront(r *router, iu *inputUnit, unit int, f flit) bool {
+	if s.cfg.ReferenceCore || !f.head || f.pkt.escaped {
+		return false
+	}
+	if f.pkt.dst == r.id {
+		eject := len(r.outNbr)
+		iu.route = eject
+		iu.outVC = f.vc
+		r.candSet(eject, unit)
+		return true
+	}
+	if s.rcPort == nil || s.cfg.Adaptive == AdaptiveEveryHop ||
+		(s.cfg.Adaptive == AdaptiveFirstHop && unit >= len(r.in)-s.cfg.VCs) {
+		return false
+	}
+	outcome := s.rcPort[r.id*len(s.routers)+f.pkt.dst]
+	if outcome < 0 {
+		return false
+	}
+	iu.route = int(outcome)
+	iu.outVC = f.pkt.advc
+	iu.blocked = 0
+	r.candSet(int(outcome), unit)
+	return true
+}
+
+// inject enqueues new packets into source queues. Synthetic injection
+// walks the cycle's n Bernoulli trials (node order) by geometric gaps: the
+// draw sequence — one gap draw per success, then the pattern's own draws —
+// is identical in both cores, which keeps cross-core bit-identity, and the
+// idle case costs one counter decrement instead of n RNG draws.
 func (s *Sim) inject() {
-	if s.trafficFn != nil {
-		for v, r := range s.routers {
-			dst, ok := s.trafficFn(s.cycle, v, s.rng)
-			if !ok || dst == v || dst < 0 || dst >= len(s.routers) {
-				continue
+	if s.injPattern != nil && s.injRate > 0 {
+		n := int64(len(s.routers))
+		if s.injSkip < 0 {
+			s.injSkip = s.injGap()
+		}
+		v := int64(0)
+		for {
+			if s.injSkip >= n-v {
+				s.injSkip -= n - v
+				break
 			}
-			s.enqueuePacket(r, v, dst)
+			v += s.injSkip
+			src := int(v)
+			if dst, ok := s.injPattern(src, s.rng); ok && dst != src &&
+				dst >= 0 && dst < len(s.routers) {
+				s.enqueuePacket(s.routers[src], src, dst)
+			}
+			s.injSkip = s.injGap()
+			v++
 		}
 	}
 	for s.tracePos < len(s.trace) && s.trace[s.tracePos].Cycle <= s.cycle {
@@ -360,6 +760,16 @@ func (s *Sim) inject() {
 		}
 		s.enqueuePacket(s.routers[ev.Src], ev.Src, ev.Dst)
 	}
+}
+
+// injGap draws the number of failed Bernoulli(injRate) trials before the
+// next successful one (inverse-CDF geometric sampling).
+func (s *Sim) injGap() int64 {
+	if s.injRate >= 1 {
+		return 0
+	}
+	u := s.rng.Float64()
+	return int64(math.Log(1-u) / math.Log(1-s.injRate))
 }
 
 // adaptiveVC maps the policy's choice into the adaptive VC index range
@@ -378,25 +788,51 @@ func (s *Sim) adaptiveVC(src, dst int) int {
 	return s.cfg.EscapeVCs + pick
 }
 
+// allocPacket takes a packet from the pool, falling back to the heap only
+// when the pool is dry (growth toward the steady-state in-flight
+// high-water mark).
+func (s *Sim) allocPacket() *packet {
+	if n := len(s.pool); n > 0 {
+		p := s.pool[n-1]
+		s.pool[n-1] = nil
+		s.pool = s.pool[:n-1]
+		return p
+	}
+	return newPacket()
+}
+
+// newPacket is the pool-miss slow path, kept out of the hot functions so
+// the escape-analysis gate can pin them allocation-free.
+//
+//go:noinline
+func newPacket() *packet { return new(packet) }
+
+// freePacket returns a fully retired packet to the pool.
+func (s *Sim) freePacket(p *packet) { s.pool = append(s.pool, p) }
+
 func (s *Sim) enqueuePacket(r *router, src, dst int) {
 	s.enqueueSized(r, src, dst, s.cfg.PacketFlits, 0)
 }
 
 func (s *Sim) enqueueSized(r *router, src, dst, flits int, tag int64) {
-	p := &packet{
+	p := s.allocPacket()
+	*p = packet{
 		id:       s.nextID,
 		tag:      tag,
 		src:      src,
 		dst:      dst,
 		advc:     s.adaptiveVC(src, dst),
 		size:     flits,
+		left:     flits,
 		injected: s.cycle,
 	}
 	s.nextID++
 	s.res.Injected++
-	for i := 0; i < p.size; i++ {
-		r.srcQ = append(r.srcQ, flit{pkt: p, vc: p.advc, head: i == 0, tail: i == p.size-1})
+	s.flitsIn += flits
+	for i := 0; i < flits; i++ {
+		r.srcQ.push(flit{pkt: p, vc: p.advc, head: i == 0, tail: i == flits-1})
 	}
+	s.active.set(r.id)
 }
 
 // Inject enqueues one packet of the given flit count at the current cycle;
@@ -413,23 +849,93 @@ func (s *Sim) Inject(src, dst, flits int, tag int64) error {
 	return nil
 }
 
-// drainSourceQueues moves flits from the unbounded source queues into the
-// injection-port input units when buffer space allows.
-func (s *Sim) drainSourceQueues() {
-	for _, r := range s.routers {
-		injPort := len(r.inUp) - 1
-		for len(r.srcQ) > 0 {
-			f := r.srcQ[0]
-			iu := &r.in[injPort*s.cfg.VCs+f.vc]
-			if len(iu.q) >= s.cfg.BufFlits {
-				break
+// drainSourceQueue moves flits from the unbounded source queue into the
+// injection-port input units while buffer space allows.
+func (s *Sim) drainSourceQueue(r *router) {
+	injPort := len(r.inUp) - 1
+	for r.srcQ.Len() > 0 {
+		f := r.srcQ.front()
+		unit := injPort*s.cfg.VCs + f.vc
+		iu := &r.in[unit]
+		if iu.q.Len() >= s.cfg.BufFlits {
+			break
+		}
+		if iu.q.Len() == 0 {
+			r.unitFilled(unit)
+			if iu.route >= 0 {
+				r.candSet(iu.route, unit)
+			} else {
+				r.attnSet(unit)
 			}
-			iu.q = append(iu.q, f)
-			r.queued++
-			r.srcQ = r.srcQ[1:]
-			s.lastMove = s.cycle
+		}
+		iu.q.push(*f)
+		r.srcQ.popFront()
+		r.queued++
+		s.lastMove = s.cycle
+	}
+}
+
+// Route cache sentinels (see Sim.rcPort).
+const (
+	rcEmpty   int8 = -3 // outcome not yet computed
+	rcNoPort  int8 = -2 // candidates resolve to no usable port: drop
+	rcNoRoute int8 = -1 // no adaptive candidates: escape or drop
+)
+
+// candidates resolves the adaptive next-hop candidates for cur toward dst.
+// The event core batches: one metric evaluation per (router pass,
+// destination) through the memo; the reference core (or a non-batching
+// algorithm) calls the allocating per-flit path the seed used.
+func (s *Sim) candidates(cur, dst int) []int {
+	if s.cfg.ReferenceCore || s.balg == nil {
+		return s.cfg.Alg.Candidates(cur, dst)
+	}
+	if s.memoRouter != cur || s.memoCycle != s.cycle {
+		s.memoRouter, s.memoCycle = cur, s.cycle
+		s.memoKeys = s.memoKeys[:0]
+		s.memoBuf = s.memoBuf[:0]
+		s.memoOffs = append(s.memoOffs[:0], 0)
+	}
+	for i, k := range s.memoKeys {
+		if int(k) == dst {
+			return s.memoBuf[s.memoOffs[i]:s.memoOffs[i+1]]
 		}
 	}
+	cands := s.balg.CandidatesInto(&s.rsc, cur, dst)
+	s.memoBuf = append(s.memoBuf, cands...)
+	s.memoKeys = append(s.memoKeys, int32(dst))
+	s.memoOffs = append(s.memoOffs, int32(len(s.memoBuf)))
+	return s.memoBuf[s.memoOffs[len(s.memoOffs)-2]:]
+}
+
+// InvalidateRoutes flushes the persistent route cache. Callers that mutate
+// the routing tables mid-run (GateOn/GateOff outside the scheduled-gates
+// path) must call it — or SetEscapeRoute, which implies it — before the
+// next Run slice.
+func (s *Sim) InvalidateRoutes() {
+	for i := range s.rcPort {
+		s.rcPort[i] = rcEmpty
+	}
+}
+
+// portOf resolves which output port of r (if any) leads to node, stamping
+// r's neighbors into the shared scratch on first use. Returns -1 when node
+// is not a direct neighbor.
+func (s *Sim) portOf(r *router, node int) int {
+	if uint(node) >= uint(len(s.portStamp)) {
+		return -1
+	}
+	if s.portRouter != r.id {
+		s.portRouter = r.id
+		for p, w := range r.outNbr {
+			s.portStamp[w] = int32(r.id)
+			s.portVal[w] = int32(p)
+		}
+	}
+	if s.portStamp[node] != int32(r.id) {
+		return -1
+	}
+	return int(s.portVal[node])
 }
 
 // routeHeads assigns an output route and next-hop VC to every input unit
@@ -439,64 +945,114 @@ func (s *Sim) drainSourceQueues() {
 // adaptive routing at the next router).
 func (s *Sim) routeHeads(r *router) {
 	eject := len(r.outNbr) // virtual ejection port index
-	for i := range r.in {
-		iu := &r.in[i]
-		if len(iu.q) == 0 {
-			continue
-		}
-		f := iu.q[0]
-		if iu.route >= 0 {
-			// Divert a starved routed head to the escape subnetwork (only
-			// heads can be re-routed; bodies follow the committed path). A
-			// failed diversion keeps the existing adaptive route.
-			if f.head && iu.route != eject && iu.blocked >= s.cfg.EscapePatience &&
-				iu.outVC >= s.cfg.EscapeVCs {
-				s.assignEscape(r, iu, f.pkt)
+	if s.cfg.ReferenceCore {
+		for i := range r.in {
+			if r.in[i].q.Len() > 0 {
+				s.routeUnit(r, i, eject)
 			}
-			continue
 		}
-		if !f.head {
-			// A body flit with no route can only be the orphan of a packet
-			// already dropped as unroutable; purge the remains silently.
+		return
+	}
+	// Event core: visit only units needing route attention, ascending — the
+	// same order the reference scan produces over the same units (all other
+	// occupied units make routeUnit a no-op). routeUnit mutates at most the
+	// visited unit's own bit, so iterating a snapshot of each word is safe.
+	for wi, w := range r.attn {
+		for w != 0 {
+			i := wi<<6 + bits.TrailingZeros64(w)
+			w &= w - 1
+			s.routeUnit(r, i, eject)
+		}
+	}
+}
+
+// routeUnit routes the head of one occupied input unit (the shared per-unit
+// body of both cores' route passes).
+func (s *Sim) routeUnit(r *router, i, eject int) {
+	iu := &r.in[i]
+	f := iu.q.front()
+	if iu.route >= 0 {
+		// Divert a starved routed head to the escape subnetwork (only
+		// heads can be re-routed; bodies follow the committed path). A
+		// failed diversion keeps the existing adaptive route.
+		if f.head && iu.route != eject && iu.blocked >= s.cfg.EscapePatience &&
+			iu.outVC >= s.cfg.EscapeVCs {
+			s.assignEscape(r, iu, i, f.pkt)
+		}
+		return
+	}
+	if !f.head {
+		// A body flit with no route can only be the orphan of a packet
+		// already dropped as unroutable; purge the remains silently.
+		s.purgeHeadPacket(r, i)
+		return
+	}
+	if f.pkt.dst == r.id {
+		iu.route = eject
+		iu.outVC = f.vc
+		r.candSet(eject, i)
+		r.attnClear(i)
+		return
+	}
+	if f.pkt.escaped {
+		// Committed to the escape subnetwork for the rest of the trip.
+		// An escape hop that stops resolving (the destination or the
+		// current node left the escape ring mid-reconfiguration) makes
+		// the packet permanently undeliverable: drop it rather than
+		// let it clog the escape channels forever.
+		if !s.assignEscape(r, iu, i, f.pkt) {
 			s.purgeHeadPacket(r, i)
-			continue
+			s.res.Dropped++
 		}
-		if f.pkt.dst == r.id {
-			iu.route = eject
-			iu.outVC = f.vc
-			continue
-		}
-		if f.pkt.escaped {
-			// Committed to the escape subnetwork for the rest of the trip.
-			// An escape hop that stops resolving (the destination or the
-			// current node left the escape ring mid-reconfiguration) makes
-			// the packet permanently undeliverable: drop it rather than
-			// let it clog the escape channels forever.
-			if !s.assignEscape(r, iu, f.pkt) {
-				s.purgeHeadPacket(r, i)
-				s.res.Dropped++
-			}
-			continue
-		}
-		cands := s.cfg.Alg.Candidates(r.id, f.pkt.dst)
+		return
+	}
+	// At a hop where the adaptive policy does not apply, the routing
+	// decision is a pure function of the tables: serve it from the
+	// persistent route cache, falling back to candidates → pickPort on a
+	// miss and recording the outcome. Adaptive hops (which read credit
+	// state) always take the slow path and are never cached.
+	// A packet sits at its source router only in an injection unit (the
+	// adaptive channels strictly decrease the routing metric, so a
+	// forwarded packet never revisits its source; escape packets were
+	// handled above), which makes the first-hop test a pure index check.
+	outcome := rcEmpty
+	cacheable := s.rcPort != nil &&
+		!(s.cfg.Adaptive == AdaptiveEveryHop ||
+			(s.cfg.Adaptive == AdaptiveFirstHop && i >= len(r.in)-s.cfg.VCs))
+	if cacheable {
+		outcome = s.rcPort[r.id*len(s.routers)+f.pkt.dst]
+	}
+	if outcome == rcEmpty {
+		cands := s.candidates(r.id, f.pkt.dst)
 		if len(cands) == 0 {
-			// Unroutable on the adaptive network: try escape before
-			// dropping (reconfiguration windows).
-			if s.cfg.EscapeRoute != nil && s.assignEscape(r, iu, f.pkt) {
-				continue
-			}
-			s.purgeHeadPacket(r, i)
-			s.res.Dropped++
-			continue
-		}
-		if port := s.pickPort(r, f.pkt, cands); port >= 0 {
-			iu.route = port
-			iu.outVC = f.pkt.advc
-			iu.blocked = 0
+			outcome = rcNoRoute
+		} else if port := s.pickPort(r, f.pkt, cands); port >= 0 {
+			outcome = int8(port)
 		} else {
-			s.purgeHeadPacket(r, i)
-			s.res.Dropped++
+			outcome = rcNoPort
 		}
+		if cacheable {
+			s.rcPort[r.id*len(s.routers)+f.pkt.dst] = outcome
+		}
+	}
+	switch {
+	case outcome >= 0:
+		iu.route = int(outcome)
+		iu.outVC = f.pkt.advc
+		iu.blocked = 0
+		r.candSet(int(outcome), i)
+		r.attnClear(i)
+	case outcome == rcNoRoute:
+		// Unroutable on the adaptive network: try escape before
+		// dropping (reconfiguration windows).
+		if s.cfg.EscapeRoute != nil && s.assignEscape(r, iu, i, f.pkt) {
+			return
+		}
+		s.purgeHeadPacket(r, i)
+		s.res.Dropped++
+	default: // rcNoPort
+		s.purgeHeadPacket(r, i)
+		s.res.Dropped++
 	}
 }
 
@@ -505,19 +1061,24 @@ func (s *Sim) routeHeads(r *router) {
 // link; on failure (the escape function declined — possible only on a
 // degraded escape subnetwork mid-reconfiguration) the unit is left exactly
 // as it was, and the caller decides the packet's fate.
-func (s *Sim) assignEscape(r *router, iu *inputUnit, p *packet) bool {
+func (s *Sim) assignEscape(r *router, iu *inputUnit, unit int, p *packet) bool {
 	next, escVC := s.escapeHop(r.id, p.dst)
-	port, ok := r.outPortOf[next]
-	if !ok {
+	port := s.portOf(r, next)
+	if port < 0 {
 		return false
 	}
 	if !p.escaped {
 		p.escaped = true
 		s.res.Escaped++
 	}
+	if iu.route >= 0 {
+		r.candClear(iu.route, unit) // diversion: release the old output
+	}
 	iu.route = port
 	iu.outVC = escVC
 	iu.blocked = 0
+	r.candSet(port, unit)
+	r.attnClear(unit)
 	return true
 }
 
@@ -533,7 +1094,7 @@ func (s *Sim) escapeHop(cur, dst int) (int, int) {
 		}
 		return next, v
 	}
-	cands := s.cfg.Alg.Candidates(cur, dst)
+	cands := s.candidates(cur, dst)
 	if len(cands) == 0 {
 		return -1, 0
 	}
@@ -545,12 +1106,12 @@ func (s *Sim) escapeHop(cur, dst int) (int, int) {
 // candidate wins; above it, the candidate with the most downstream credits
 // (i.e. the lightest port counter) is chosen.
 func (s *Sim) pickPort(r *router, p *packet, cands []int) int {
-	first, ok := r.outPortOf[cands[0]]
-	if !ok {
+	first := s.portOf(r, cands[0])
+	if first < 0 {
 		// The algorithm proposed a non-link (stale tables mid-reconfig);
 		// fall back to any candidate that is a port.
 		for _, c := range cands[1:] {
-			if pt, ok2 := r.outPortOf[c]; ok2 {
+			if pt := s.portOf(r, c); pt >= 0 {
 				return pt
 			}
 		}
@@ -561,17 +1122,17 @@ func (s *Sim) pickPort(r *router, p *packet, cands []int) int {
 	if !adaptive || len(cands) == 1 {
 		return first
 	}
-	occupied := s.cfg.BufFlits - r.credits[first*s.cfg.VCs+p.advc]
+	occupied := s.cfg.BufFlits - int(r.ovcs[first*s.cfg.VCs+p.advc].cred)
 	if float64(occupied) < s.cfg.AdaptiveThreshold*float64(s.cfg.BufFlits) {
 		return first // deterministic port below threshold: keep it
 	}
-	best, bestCred := first, r.credits[first*s.cfg.VCs+p.advc]
+	best, bestCred := first, r.ovcs[first*s.cfg.VCs+p.advc].cred
 	for _, c := range cands[1:] {
-		pt, ok := r.outPortOf[c]
-		if !ok {
+		pt := s.portOf(r, c)
+		if pt < 0 {
 			continue
 		}
-		if cr := r.credits[pt*s.cfg.VCs+p.advc]; cr > bestCred {
+		if cr := r.ovcs[pt*s.cfg.VCs+p.advc].cred; cr > bestCred {
 			best, bestCred = pt, cr
 		}
 	}
@@ -583,27 +1144,46 @@ func (s *Sim) pickPort(r *router, p *packet, cands []int) int {
 // credit counters. Callers account the drop.
 func (s *Sim) purgeHeadPacket(r *router, unit int) {
 	iu := &r.in[unit]
-	if len(iu.q) == 0 {
+	if iu.q.Len() == 0 {
 		return
 	}
-	p := iu.q[0].pkt
+	p := iu.q.front().pkt
 	vc := unit % s.cfg.VCs
-	kept := iu.q[:0]
+	kept := 0
 	purged := 0
-	for _, f := range iu.q {
+	n := iu.q.Len()
+	for i := 0; i < n; i++ {
+		f := *iu.q.at(i)
 		if f.pkt != p {
-			kept = append(kept, f)
+			*iu.q.at(kept) = f
+			kept++
 		} else {
 			purged++
 		}
 	}
-	iu.q = kept
+	iu.q.truncate(kept)
 	r.queued -= purged
+	s.flitsIn -= purged
+	p.left -= purged
+	if iu.route >= 0 {
+		r.candClear(iu.route, unit)
+	}
+	if kept == 0 {
+		r.unitEmptied(unit)
+		r.attnClear(unit)
+	} else {
+		r.attnSet(unit) // the next packet's flits need routing (or purging)
+	}
 	iu.route = -1
 	iu.blocked = 0
 	if up := r.inUp[unit/s.cfg.VCs]; up >= 0 && purged > 0 {
 		ur := s.routers[up]
-		ur.credits[ur.outPortOf[r.id]*s.cfg.VCs+vc] += purged
+		upOut := int(r.upOutPort[unit/s.cfg.VCs])
+		ur.ovcs[upOut*s.cfg.VCs+vc].cred += int32(purged)
+		ur.unpark(upOut) // new credits: the upstream output may grant again
+	}
+	if p.left == 0 {
+		s.freePacket(p)
 	}
 }
 
@@ -616,76 +1196,205 @@ func (s *Sim) arbitrate(r *router) {
 	nUnits := len(r.in)
 	eject := len(r.outNbr)
 	vcs := s.cfg.VCs
-	for out := 0; out <= eject; out++ {
-		for slot := 0; slot < s.cfg.LinkWidth; slot++ {
+	if s.cfg.ReferenceCore {
+		for out := 0; out <= eject; out++ {
+			for slot := 0; slot < s.cfg.LinkWidth; slot++ {
+				if !s.arbitrateSlot(r, out, nUnits, eject, vcs) {
+					break // no grant at this slot: later ones cannot grant either
+				}
+			}
+		}
+		return
+	}
+	// Event core: visit only outputs some unit is routed to and that are
+	// not parked, ascending — the reference scan grants nothing on the
+	// others. Arbitration mutates candOuts/parked only for the output being
+	// arbitrated, so snapshot words are safe to iterate.
+	for wi := range r.candOuts {
+		w := r.candOuts[wi] &^ r.parked[wi]
+		for w != 0 {
+			out := wi<<6 + bits.TrailingZeros64(w)
+			w &= w - 1
+			s.scanSawLive = false
 			if !s.arbitrateSlot(r, out, nUnits, eject, vcs) {
-				break // no grant at this slot: later slots cannot grant either
+				if !s.scanSawLive {
+					r.park(out)
+				}
+				continue
+			}
+			for slot := 1; slot < s.cfg.LinkWidth; slot++ {
+				if !s.arbitrateSlot(r, out, nUnits, eject, vcs) {
+					break
+				}
 			}
 		}
 	}
 }
 
-// arbitrateSlot performs one grant on one output port and reports whether
-// a flit was forwarded.
-func (s *Sim) arbitrateSlot(r *router, out, nUnits, eject, vcs int) bool {
-	granted := -1
+// scanSlotRef is the reference core's grant scan: walk every input unit in
+// round-robin order from rr[out], note blocked routed heads, and return the
+// first grantable unit (the seed's exact loop).
+func (s *Sim) scanSlotRef(r *router, out, nUnits, eject, vcs int) int {
 	for k := 0; k < nUnits; k++ {
 		i := (r.rr[out] + k) % nUnits
 		iu := &r.in[i]
-		if len(iu.q) == 0 || iu.route != out {
+		if iu.q.Len() == 0 || iu.route != out {
 			continue
 		}
 		vc := iu.outVC
-		owner := r.outOwner[out*vcs+vc]
-		if owner >= 0 && owner != i {
-			s.noteBlocked(iu)
+		o := &r.ovcs[out*vcs+vc]
+		if o.owner >= 0 && int(o.owner) != i {
+			s.noteBlocked(r, iu, i)
 			continue // another packet holds this output VC
 		}
-		if out < eject && r.credits[out*vcs+vc] <= 0 {
-			s.noteBlocked(iu)
+		if out < eject && o.cred <= 0 {
+			s.noteBlocked(r, iu, i)
 			continue // no downstream space
 		}
-		granted = i
-		break
+		return i
+	}
+	return -1
+}
+
+// scanSlot is the event core's grant scan: identical semantics to
+// scanSlotRef — the candidate mask holds exactly the units the reference
+// scan would consider (queued flit, routed to out), visited in the same
+// round-robin rotation — but the cost is proportional to the candidates,
+// not to the unit count.
+func (s *Sim) scanSlot(r *router, out, nUnits, eject, vcs int) int {
+	base := out * r.candW
+	// Fast path for the dominant low-load shape — a single candidate unit
+	// on the output — where the round-robin rotation cannot matter.
+	if r.candW == 1 {
+		if w := r.cand[base]; w&(w-1) == 0 {
+			if w == 0 {
+				return -1
+			}
+			i := bits.TrailingZeros64(w)
+			iu := &r.in[i]
+			vc := iu.outVC
+			o := &r.ovcs[out*vcs+vc]
+			if o.owner >= 0 && int(o.owner) != i {
+				s.noteBlocked(r, iu, i)
+				return -1
+			}
+			if out < eject && o.cred <= 0 {
+				s.noteBlocked(r, iu, i)
+				return -1
+			}
+			return i
+		}
+	}
+	rr := r.rr[out]
+	// Two passes over the rotation: unit indexes [rr, nUnits) then [0, rr).
+	lo, hi := rr, nUnits
+	for pass := 0; pass < 2; pass++ {
+		for wi := lo >> 6; wi <= (hi-1)>>6; wi++ {
+			w := r.cand[base+wi]
+			if wi == lo>>6 {
+				w &= ^uint64(0) << uint(lo&63)
+			}
+			if wi == (hi-1)>>6 && hi&63 != 0 {
+				w &= 1<<uint(hi&63) - 1
+			}
+			for w != 0 {
+				i := wi<<6 + bits.TrailingZeros64(w)
+				w &= w - 1
+				iu := &r.in[i]
+				vc := iu.outVC
+				o := &r.ovcs[out*vcs+vc]
+				if o.owner >= 0 && int(o.owner) != i {
+					s.noteBlocked(r, iu, i)
+					continue // another packet holds this output VC
+				}
+				if out < eject && o.cred <= 0 {
+					s.noteBlocked(r, iu, i)
+					continue // no downstream space
+				}
+				return i
+			}
+		}
+		lo, hi = 0, rr
+		if hi == 0 {
+			break
+		}
+	}
+	return -1
+}
+
+// arbitrateSlot performs one grant on one output port and reports whether
+// a flit was forwarded.
+func (s *Sim) arbitrateSlot(r *router, out, nUnits, eject, vcs int) bool {
+	var granted int
+	if s.cfg.ReferenceCore {
+		granted = s.scanSlotRef(r, out, nUnits, eject, vcs)
+	} else {
+		granted = s.scanSlot(r, out, nUnits, eject, vcs)
 	}
 	if granted < 0 {
 		return false
 	}
-	r.rr[out] = (granted + 1) % nUnits
+	if granted+1 == nUnits {
+		r.rr[out] = 0
+	} else {
+		r.rr[out] = granted + 1
+	}
 	iu := &r.in[granted]
-	f := iu.q[0]
-	iu.q = iu.q[1:]
+	f := iu.q.popFront()
+	if iu.q.Len() == 0 {
+		r.unitEmptied(granted)
+		r.candClear(out, granted)
+		r.attnClear(granted)
+	} else if f.tail {
+		r.candClear(out, granted) // route released below; next packet re-routes
+		r.attnSet(granted)
+	} else {
+		r.attnClear(granted) // forward progress: starvation attention is over
+	}
 	r.queued--
 	iu.blocked = 0
 	s.lastMove = s.cycle
 	outVC := iu.outVC
 	if f.head {
-		r.outOwner[out*vcs+outVC] = granted
+		r.ovcs[out*vcs+outVC].owner = int32(granted)
 	}
 	if f.tail {
 		iu.route = -1
-		r.outOwner[out*vcs+outVC] = -1
+		r.ovcs[out*vcs+outVC].owner = -1
 	}
 	// Return a credit to the upstream router for the freed slot; the
 	// freed buffer is the unit's own VC, not the outgoing VC.
-	unitVC := granted % vcs
-	up := r.inUp[granted/vcs]
-	if up >= 0 {
+	unitVC := int(iu.vc)
+	port := int(iu.port)
+	if up := r.inUp[port]; up >= 0 {
 		ur := s.routers[up]
-		ur.credits[ur.outPortOf[r.id]*vcs+unitVC]++
+		upOut := int(r.upOutPort[port])
+		ur.ovcs[upOut*vcs+unitVC].cred++
+		ur.unpark(upOut) // new credit: the upstream output may grant again
 	}
 	if out == eject {
 		s.res.FlitsDelivered++
+		s.flitsIn--
+		p := f.pkt
+		p.left--
 		if f.tail {
-			s.recordDelivery(f.pkt)
+			s.recordDelivery(p)
+		}
+		if p.left == 0 {
+			s.freePacket(p)
 		}
 		return true
 	}
 	// Send over the link on the outgoing VC.
-	r.credits[out*vcs+outVC]--
+	r.ovcs[out*vcs+outVC].cred--
 	f.vc = outVC
 	lat := int64(s.linkLatency(r.id, r.outNbr[out]))
-	r.links[out] = append(r.links[out], inflight{f: f, arrive: s.cycle + lat})
+	lq := &r.links[out]
+	wasEmpty := lq.Len() == 0
+	lq.push(inflight{f: f, arrive: s.cycle + lat})
+	if wasEmpty && !s.cfg.ReferenceCore {
+		s.scheduleWake(s.cycle+lat, r.linkBase+int32(out))
+	}
 	s.res.FlitHops++
 	if f.head {
 		f.pkt.hops++
@@ -694,10 +1403,21 @@ func (s *Sim) arbitrateSlot(r *router, out, nUnits, eject, vcs int) bool {
 }
 
 // noteBlocked bumps the starvation counter of a unit whose head flit is
-// route-assigned but could not move this cycle.
-func (s *Sim) noteBlocked(iu *inputUnit) {
-	if len(iu.q) > 0 && iu.q[0].head {
+// route-assigned but could not move this cycle, and flags the unit for
+// route-pass attention once the counter crosses the escape-diversion
+// threshold (a superset of the divertible units: routeUnit rechecks the
+// full condition).
+func (s *Sim) noteBlocked(r *router, iu *inputUnit, i int) {
+	if iu.q.Len() > 0 && iu.q.front().head {
 		iu.blocked++
+		if iu.outVC >= s.cfg.EscapeVCs {
+			// A live counter: it feeds the escape-diversion check, so its
+			// output cannot be parked (skipped scans would miss increments).
+			s.scanSawLive = true
+			if iu.blocked >= s.cfg.EscapePatience {
+				r.attnSet(i)
+			}
+		}
 	}
 }
 
@@ -717,16 +1437,22 @@ func (s *Sim) recordDelivery(p *packet) {
 }
 
 // inFlight returns the number of flits currently inside the network
-// (buffers, links, and source queues).
+// (buffers, links, and source queues). The event core reads the
+// incremental counter; the reference core recounts by scanning, which lets
+// the determinism suite cross-check the counter through Results and
+// Snapshot occupancy fields.
 func (s *Sim) inFlight() int {
+	if !s.cfg.ReferenceCore {
+		return s.flitsIn
+	}
 	total := 0
 	for _, r := range s.routers {
-		total += len(r.srcQ)
+		total += r.srcQ.Len()
 		for i := range r.in {
-			total += len(r.in[i].q)
+			total += r.in[i].q.Len()
 		}
-		for _, q := range r.links {
-			total += len(q)
+		for p := range r.links {
+			total += r.links[p].Len()
 		}
 	}
 	return total
@@ -758,6 +1484,10 @@ func (s *Sim) ResetStats() {
 // simulating goroutine.
 func (s *Sim) SetEscapeRoute(f func(cur, dst int) (next int, escVC int)) {
 	s.cfg.EscapeRoute = f
+	// Reconfiguration swaps the escape route exactly when the routing
+	// tables have just mutated (GateOn/GateOff), so the candidate cache
+	// flushes here.
+	s.InvalidateRoutes()
 }
 
 // SetLinkLatency swaps the per-link latency function mid-run. Scheduled
@@ -765,8 +1495,10 @@ func (s *Sim) SetEscapeRoute(f func(cur, dst int) (next int, escVC int)) {
 // just switched on: the function may consult Cycle() to make a waking link
 // cost its remaining wake time. Flit arrival order per link stays FIFO as
 // long as the latency of a link never decreases faster than one cycle per
-// cycle (a fixed wake deadline satisfies this). Call it only on the
-// simulating goroutine.
+// cycle (a fixed wake deadline satisfies this). Arrival cycles are fixed
+// when a flit enters a link, so swapping the function never perturbs the
+// wake calendar of flits already in flight. Call it only on the simulating
+// goroutine.
 func (s *Sim) SetLinkLatency(f func(u, v int) int) {
 	s.cfg.LinkLatency = f
 }

@@ -1,0 +1,139 @@
+package routing
+
+import "slices"
+
+// Scratch holds the reusable buffers behind BufferedAlgorithm. The network
+// simulator keeps one Scratch per simulator instance so that steady-state
+// routing performs zero heap allocations; algorithms shared across
+// concurrent simulations stay safe because all mutable per-call state lives
+// here, owned by the caller, never in the Algorithm itself.
+type Scratch struct {
+	cands []scratchCand
+	out   []int
+}
+
+type scratchCand struct {
+	node  int
+	md    float64
+	score float64
+}
+
+// BufferedAlgorithm is the allocation-free face of Algorithm: CandidatesInto
+// computes the same candidate list as Candidates, in the same order, but
+// into buffers owned by sc. The returned slice is valid only until the next
+// CandidatesInto call with the same Scratch, and must not be modified by the
+// caller (table-driven algorithms may return their precomputed rows
+// directly). Every algorithm in this package implements it; Candidates is a
+// thin wrapper so the candidate ordering has a single source of truth.
+type BufferedAlgorithm interface {
+	Algorithm
+	CandidatesInto(sc *Scratch, cur, dst int) []int
+}
+
+// CandidatesInto implements BufferedAlgorithm. It mirrors Candidates exactly:
+// strictly improving one-hop neighbors ordered by (two-hop lookahead score,
+// own MD, node). The comparator is a total order — node numbers are unique
+// within the candidate set — so the sort is deterministic regardless of the
+// sorting algorithm.
+func (g *Greediest) CandidatesInto(sc *Scratch, cur, dst int) []int {
+	if cur == dst {
+		return nil
+	}
+	t := g.Tables[cur]
+	// Destination one hop away: always forward directly.
+	if t.HasOneHop(dst) {
+		sc.out = append(sc.out[:0], dst)
+		return sc.out
+	}
+	curMD := g.Coords.MD(g.Metric, cur, dst)
+
+	cands := sc.cands[:0]
+	for i := range t.entries {
+		e := &t.entries[i]
+		if e.TwoHop || !e.Valid || e.Blocked {
+			continue
+		}
+		md := g.Coords.MD(g.Metric, e.Node, dst)
+		if md < curMD {
+			cands = append(cands, scratchCand{node: e.Node, md: md, score: md})
+		}
+	}
+	sc.cands = cands
+	if len(cands) == 0 {
+		return nil
+	}
+	if g.Lookahead {
+		// Improve each candidate's score with the best MD among the
+		// two-hop neighbors reached through it. The candidate set is
+		// small (bounded by the port count), so a linear via lookup
+		// beats building a map.
+		for i := range t.entries {
+			e := &t.entries[i]
+			if !e.TwoHop || !e.Valid || e.Blocked {
+				continue
+			}
+			ci := -1
+			for j := range cands {
+				if cands[j].node == e.Via {
+					ci = j
+					break
+				}
+			}
+			if ci < 0 {
+				continue
+			}
+			if e.Node == dst {
+				cands[ci].score = -1 // destination two hops away: best possible
+				continue
+			}
+			if md := g.Coords.MD(g.Metric, e.Node, dst); md < cands[ci].score {
+				cands[ci].score = md
+			}
+		}
+	}
+	slices.SortFunc(cands, func(a, b scratchCand) int {
+		switch {
+		case a.score < b.score:
+			return -1
+		case a.score > b.score:
+			return 1
+		case a.md < b.md:
+			return -1
+		case a.md > b.md:
+			return 1
+		case a.node < b.node:
+			return -1
+		case a.node > b.node:
+			return 1
+		}
+		return 0
+	})
+	out := sc.out[:0]
+	for i := range cands {
+		out = append(out, cands[i].node)
+	}
+	sc.out = out
+	return out
+}
+
+// CandidatesInto implements BufferedAlgorithm.
+func (m *MeshRouter) CandidatesInto(sc *Scratch, cur, dst int) []int {
+	sc.out = m.Mesh.AppendXYNextHops(sc.out[:0], cur, dst)
+	return sc.out
+}
+
+// CandidatesInto implements BufferedAlgorithm.
+func (b *ButterflyRouter) CandidatesInto(sc *Scratch, cur, dst int) []int {
+	sc.out = b.B.AppendMinimalNextHops(sc.out[:0], cur, dst)
+	return sc.out
+}
+
+// CandidatesInto implements BufferedAlgorithm. The precomputed row is
+// returned directly; per the interface contract the caller must not modify
+// it.
+func (t *TableRouter) CandidatesInto(sc *Scratch, cur, dst int) []int {
+	if cur == dst {
+		return nil
+	}
+	return t.next[cur][dst]
+}

@@ -143,12 +143,19 @@ func (b *Butterfly) Ports() int {
 // both returned when both need correction (adaptive choice). In the AFB a
 // dimension move that crosses segments may need the bridge first.
 func (b *Butterfly) MinimalNextHops(cur, dst int) []int {
+	return b.AppendMinimalNextHops(nil, cur, dst)
+}
+
+// AppendMinimalNextHops is the allocation-free form of MinimalNextHops:
+// candidates are appended to buf (which may be reused across calls) and the
+// extended slice is returned. Hop order is identical to MinimalNextHops.
+func (b *Butterfly) AppendMinimalNextHops(buf []int, cur, dst int) []int {
 	if cur == dst {
-		return nil
+		return buf
 	}
 	cr, cc := b.RouterLoc(cur)
 	dr, dc := b.RouterLoc(dst)
-	var hops []int
+	hops := buf
 	add := func(row, col int) {
 		r := b.routerAt(row, col)
 		if r != cur {

@@ -88,12 +88,20 @@ func (m *Mesh) Ports() int { return 4 * m.Width }
 // both a column and a row move reduce distance, both are returned (first one
 // is the deterministic XY choice, the second enables adaptive selection).
 func (m *Mesh) XYNextHops(cur, dst int) []int {
+	return m.AppendXYNextHops(nil, cur, dst)
+}
+
+// AppendXYNextHops is the allocation-free form of XYNextHops: next hops are
+// appended to buf (which may be reused across calls) and the extended slice
+// is returned. Hop order is identical to XYNextHops.
+func (m *Mesh) AppendXYNextHops(buf []int, cur, dst int) []int {
 	if cur == dst {
-		return nil
+		return buf
 	}
 	cr, cc := m.Loc(cur)
 	dr, dc := m.Loc(dst)
-	var hops []int
+	base := len(buf)
+	hops := buf
 	if dc != cc {
 		step := 1
 		if dc < cc {
@@ -112,7 +120,7 @@ func (m *Mesh) XYNextHops(cur, dst int) []int {
 			hops = append(hops, v)
 		}
 	}
-	if len(hops) == 0 {
+	if len(hops) == base {
 		// The destination cell is only reachable by first detouring
 		// (possible around the ragged last row): move toward it anyway.
 		if dr > cr {
@@ -120,7 +128,7 @@ func (m *Mesh) XYNextHops(cur, dst int) []int {
 				hops = append(hops, v)
 			}
 		}
-		if len(hops) == 0 && cc > 0 {
+		if len(hops) == base && cc > 0 {
 			hops = append(hops, m.NodeAt(cr, cc-1))
 		}
 	}

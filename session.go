@@ -62,6 +62,14 @@ type SessionConfig struct {
 	// watch the latency transient a reconfiguration causes.
 	Gates []GateEvent
 
+	// ReferenceCore runs the simulation on the netsim reference core — the
+	// full-scan, per-flit-routing slow path kept for differential testing —
+	// instead of the event-driven core. Results are bit-identical by
+	// contract (the cross-core determinism suite enforces it), so the flag
+	// only trades speed for independence from the event scheduler; leave it
+	// false outside of tests.
+	ReferenceCore bool
+
 	// onTelemetry, when set (WithTelemetry, RunTelemetry), receives the
 	// interval snapshots. Unexported: it never travels over the sweep wire
 	// protocol — remote workers report progress frames instead.
@@ -210,6 +218,7 @@ func (n *Network) snapshotCfg(cfg SessionConfig) netsim.Config {
 	if cfg.AdaptiveThreshold > 0 {
 		sc.AdaptiveThreshold = cfg.AdaptiveThreshold
 	}
+	sc.ReferenceCore = cfg.ReferenceCore
 	return sc
 }
 

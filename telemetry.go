@@ -295,6 +295,7 @@ func (n *Network) runSyntheticGated(ctx context.Context, cfg SessionConfig, pat 
 	if cfg.AdaptiveThreshold > 0 {
 		simCfg.AdaptiveThreshold = cfg.AdaptiveThreshold
 	}
+	simCfg.ReferenceCore = cfg.ReferenceCore
 	simCfg.PacketFlits = cfg.PacketFlits
 	wireTelemetry(&simCfg, cfg, cfg.Rate, nil)
 	sim, err := netsim.New(simCfg)
