@@ -366,10 +366,13 @@ func BenchmarkSweepParallel(b *testing.B) {
 // netsimStepBench drives the raw simulator one cycle per benchmark op on a
 // String Figure network of n nodes at the given injection rate. Warmup fills
 // the network to its steady state (queues at their high-water marks, the
-// packet pool primed), after which the event-driven core must run without
-// heap allocations — allocs/op is reported and gated at 0 by
-// bench_baseline.json, and cycles/s is the perf-trajectory headline.
-func netsimStepBench(b *testing.B, n int, rate float64, reference bool) {
+// packet pool primed, flow histograms at their latency high-water), after
+// which the core must run without heap allocations — allocs/op is reported
+// and gated at 0 by bench_baseline.json, and cycles/s is the
+// perf-trajectory headline. flowBuckets > 0 enables per-flow accounting
+// (the BenchmarkNetsimStepFlow variant), pinning the accounting-on
+// overhead next to the observability-off ceiling.
+func netsimStepBench(b *testing.B, n int, rate float64, reference bool, flowBuckets int) {
 	b.Helper()
 	sf, err := topology.NewStringFigure(topology.Config{N: n, Ports: 4, Seed: 1, Shortcuts: true})
 	if err != nil {
@@ -377,6 +380,7 @@ func netsimStepBench(b *testing.B, n int, rate float64, reference bool) {
 	}
 	cfg := netsim.SFConfig(sf, 1)
 	cfg.ReferenceCore = reference
+	cfg.FlowBuckets = flowBuckets
 	sim, err := netsim.New(cfg)
 	if err != nil {
 		b.Fatal(err)
@@ -427,9 +431,21 @@ var netsimStepGrid = []struct {
 func BenchmarkNetsimStep(b *testing.B) {
 	for _, g := range netsimStepGrid {
 		b.Run(fmt.Sprintf("N%d_%s", g.n, g.load), func(b *testing.B) {
-			netsimStepBench(b, g.n, g.rate, false)
+			netsimStepBench(b, g.n, g.rate, false, 0)
 		})
 	}
+}
+
+// BenchmarkNetsimStepFlow is the N=64 mid-load grid point with per-flow
+// accounting enabled (4×4 src/dst buckets, the sfexp default): the delta
+// against NetsimStep/N64_mid is the observability overhead, and the
+// allocs/op ceiling pins the accounting path allocation-free in steady
+// state — the flow histograms live in a pre-carved arena that reaches its
+// latency high-water mark during warmup.
+func BenchmarkNetsimStepFlow(b *testing.B) {
+	b.Run("N64_mid", func(b *testing.B) {
+		netsimStepBench(b, 64, 0.01, false, 4)
+	})
 }
 
 // BenchmarkNetsimStepRef runs the same N=1024 low-load point on the
@@ -440,7 +456,7 @@ func BenchmarkNetsimStep(b *testing.B) {
 // per-node injection draws and per-cycle allocations.
 func BenchmarkNetsimStepRef(b *testing.B) {
 	b.Run("N1024_low", func(b *testing.B) {
-		netsimStepBench(b, 1024, 0.0003, true)
+		netsimStepBench(b, 1024, 0.0003, true, 0)
 	})
 }
 

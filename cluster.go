@@ -42,6 +42,15 @@ func ClusterToken(token string) ClusterOption {
 	return func(c *dist.Config) { c.Token = token }
 }
 
+// ClusterLogger routes the coordinator's operational log lines — worker
+// joins and losses, auth rejections, point requeues — to logf (Printf
+// signature; sfserve adapts its slog logger). nil keeps the coordinator
+// silent. logf is called from connection goroutines and must be safe for
+// concurrent use.
+func ClusterLogger(logf func(format string, args ...any)) ClusterOption {
+	return func(c *dist.Config) { c.Logf = logf }
+}
+
 // NewCluster starts a coordinator listening on addr ("host:port"; use
 // ":0" to pick a free port, then read Addr).
 func NewCluster(addr string, opts ...ClusterOption) (*Cluster, error) {

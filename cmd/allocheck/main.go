@@ -54,6 +54,9 @@ var hotFuncs = map[string]bool{
 	// router bitmask helpers
 	"candSet": true, "candClear": true, "attnSet": true, "attnClear": true,
 	"unitFilled": true, "unitEmptied": true, "park": true, "unpark": true,
+	// flow accounting and trace sampling (traceAcct.grow is the deliberate
+	// cold-path exception, like ring.grow; snapshot emission is cold)
+	"observe": true, "bucketOf": true, "traceEvent": true,
 }
 
 // escapeMsg matches the two diagnostics that mean a heap allocation.

@@ -10,8 +10,12 @@
 // With -telemetry FILE, experiments that run through the public Session/
 // Sweep layer (currently -exp sweep) additionally stream live NDJSON
 // telemetry: one {"type":"interval",...} record per per-point snapshot
-// interval, and — when -listen is active — one {"type":"progress",...}
-// record per worker per second while sweeps drain.
+// interval — carrying per-src/dst flow buckets (-flow-buckets) and
+// per-link utilization deltas — one {"type":"trace",...} record per
+// sampled packet-lifecycle event (-trace-every picks the deterministic
+// 1-in-K sampling), and — when -listen is active — one
+// {"type":"progress",...} record per worker per second while sweeps
+// drain.
 //
 // With -metrics ADDR, the same interval stream feeds a Prometheus-text
 // /metrics endpoint (scrape http://ADDR/metrics); combined with -listen
@@ -69,14 +73,24 @@ func (w *telemetryWriter) encode(rec any) {
 }
 
 // interval writes one snapshot record; it is the WithTelemetry sink, called
-// from every sweep worker concurrently.
+// from every sweep worker concurrently. Sampled packet-lifecycle events ride
+// the snapshot in; they are split out as their own {"type":"trace",...}
+// lines so each NDJSON record stays one event at one grain.
 func (w *telemetryWriter) interval(s stringfigure.TelemetrySnapshot) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	trace := s.Trace
+	s.Trace = nil
 	w.encode(struct {
 		Type string `json:"type"`
 		stringfigure.TelemetrySnapshot
 	}{Type: "interval", TelemetrySnapshot: s})
+	for _, ev := range trace {
+		w.encode(struct {
+			Type string `json:"type"`
+			stringfigure.PacketTraceEvent
+		}{Type: "trace", PacketTraceEvent: ev})
+	}
 }
 
 // progress writes one record per worker report.
@@ -112,16 +126,18 @@ func (w *telemetryWriter) close() error {
 
 func main() {
 	var (
-		exp       = flag.String("exp", "all", "experiment id (fig5, fig9a, fig9b, fig10, fig11, fig12a, fig12b, table2, bisect, sweep, placement, ablate, all)")
-		quick     = flag.Bool("quick", false, "reduced simulation budget for smoke runs")
-		scale     = flag.Int("scale", 0, "restrict the fig10/fig11 network size to one N (0 = figure defaults)")
-		seed      = flag.Int64("seed", 1, "seed")
-		listen    = flag.String("listen", "", "run as a distributed-sweep coordinator on this address (host:port); cmd/sfworker processes dial it and figure sweeps fan across them")
-		workers   = flag.Int("workers", 0, "with -listen: wait for this many workers to connect before running (0 = start immediately, workers may join mid-run)")
-		telemetry = flag.String("telemetry", "", "stream live NDJSON telemetry (interval snapshots; with -listen also per-worker progress) to this file")
-		metricsAt = flag.String("metrics", "", "serve a Prometheus-text /metrics endpoint on this address (host:port) fed by the public-API sweeps; with -listen it also exports per-worker cluster liveness")
-		cpuprof   = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (inspect with `go tool pprof`)")
-		memprof   = flag.String("memprofile", "", "write a heap profile (after a final GC) to this file on exit")
+		exp         = flag.String("exp", "all", "experiment id (fig5, fig9a, fig9b, fig10, fig11, fig12a, fig12b, table2, bisect, sweep, placement, ablate, all)")
+		quick       = flag.Bool("quick", false, "reduced simulation budget for smoke runs")
+		scale       = flag.Int("scale", 0, "restrict the fig10/fig11 network size to one N (0 = figure defaults)")
+		seed        = flag.Int64("seed", 1, "seed")
+		listen      = flag.String("listen", "", "run as a distributed-sweep coordinator on this address (host:port); cmd/sfworker processes dial it and figure sweeps fan across them")
+		workers     = flag.Int("workers", 0, "with -listen: wait for this many workers to connect before running (0 = start immediately, workers may join mid-run)")
+		telemetry   = flag.String("telemetry", "", "stream live NDJSON telemetry (interval snapshots, sampled packet traces; with -listen also per-worker progress) to this file")
+		flowBuckets = flag.Int("flow-buckets", 4, "with -telemetry/-metrics: src/dst bucket count for per-flow latency attribution (0 disables flow accounting)")
+		traceEvery  = flag.Int64("trace-every", 16, "with -telemetry: sample every Kth packet's lifecycle as trace records (0 disables tracing)")
+		metricsAt   = flag.String("metrics", "", "serve a Prometheus-text /metrics endpoint on this address (host:port) fed by the public-API sweeps; with -listen it also exports per-worker cluster liveness")
+		cpuprof     = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (inspect with `go tool pprof`)")
+		memprof     = flag.String("memprofile", "", "write a heap profile (after a final GC) to this file on exit")
 	)
 	flag.Parse()
 
@@ -384,8 +400,10 @@ func main() {
 				every = 1
 			}
 			cfg.TelemetryEvery = every
+			cfg.FlowBuckets = *flowBuckets
 		}
 		if tw != nil {
+			cfg.TraceSampleEvery = *traceEvery
 			cfg = cfg.WithTelemetry(0, tw.interval)
 		}
 		if ms != nil {

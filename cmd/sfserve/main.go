@@ -10,6 +10,7 @@
 //
 //	sfserve -state DIR [-http host:port] [-listen host:port]
 //	        [-token SECRET] [-metrics host:port] [-max-active N]
+//	        [-log-level LEVEL]
 //
 // -state (required) is the durable state directory: the append-only job
 // log and per-job checkpoint journals live there, and a restarted server
@@ -24,7 +25,12 @@
 // front doors with one shared secret: HTTP requests present it as a
 // bearer token, workers with `sfworker -token`. -metrics serves a
 // Prometheus-text endpoint with per-tenant queue depth and throughput
-// plus cluster worker liveness.
+// plus cluster worker liveness — and the net/http/pprof profiling surface
+// at /debug/pprof/ for CPU/heap/goroutine introspection of a live server.
+//
+// Logs are structured (log/slog text format) on stderr; -log-level picks
+// the minimum severity (debug, info, warn, error — default info). Worker
+// joins/losses and point requeues from the cluster transport log at debug.
 //
 // The server exits 0 on SIGINT/SIGTERM after interrupting running jobs;
 // interrupted jobs stay journaled as running and resume on the next
@@ -36,6 +42,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -45,6 +52,17 @@ import (
 	stringfigure "repro"
 )
 
+// newLogger builds the process logger: slog text on stderr, gated at the
+// -log-level severity. Exits 2 on an unknown level name.
+func newLogger(name, level string) *slog.Logger {
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(level)); err != nil {
+		fmt.Fprintf(os.Stderr, "%s: -log-level %q: want debug, info, warn or error\n", name, level)
+		os.Exit(2)
+	}
+	return slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lvl}))
+}
+
 func main() {
 	var (
 		state     = flag.String("state", "", "durable state directory (required)")
@@ -53,6 +71,7 @@ func main() {
 		token     = flag.String("token", "", "shared secret guarding the HTTP API and the worker socket")
 		metricsAt = flag.String("metrics", "", "Prometheus-text /metrics address")
 		maxActive = flag.Int("max-active", 2, "jobs running concurrently")
+		logLevel  = flag.String("log-level", "info", "minimum log severity: debug, info, warn or error")
 	)
 	flag.Parse()
 	if *state == "" {
@@ -60,23 +79,31 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	logger := newLogger("sfserve", *logLevel)
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	// The service and cluster layers speak Printf; adapt them onto the
+	// structured logger. Cluster transport chatter (joins, losses,
+	// requeues) is high-volume under churn, so it logs at debug.
 	logf := func(format string, args ...any) {
-		fmt.Printf(format+"\n", args...)
+		logger.Info(fmt.Sprintf(format, args...))
+	}
+	clusterLogf := func(format string, args ...any) {
+		logger.Debug(fmt.Sprintf(format, args...))
 	}
 
 	var cluster *stringfigure.Cluster
 	if *listenAt != "" {
 		var err error
-		cluster, err = stringfigure.NewCluster(*listenAt, stringfigure.ClusterToken(*token))
+		cluster, err = stringfigure.NewCluster(*listenAt,
+			stringfigure.ClusterToken(*token), stringfigure.ClusterLogger(clusterLogf))
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "sfserve: %v\n", err)
+			logger.Error("cluster listen failed", "err", err)
 			os.Exit(1)
 		}
 		defer cluster.Close()
-		logf("sfserve: workers connect at %s", cluster.Addr())
+		logger.Info("workers connect here", "addr", cluster.Addr())
 	}
 
 	svc, err := stringfigure.NewService(stringfigure.ServiceConfig{
@@ -87,14 +114,14 @@ func main() {
 		Logf:      logf,
 	})
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "sfserve: %v\n", err)
+		logger.Error("service start failed", "err", err)
 		os.Exit(1)
 	}
 
 	if *metricsAt != "" {
 		ms, err := stringfigure.ServeMetrics(*metricsAt)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "sfserve: %v\n", err)
+			logger.Error("metrics listen failed", "err", err)
 			os.Exit(1)
 		}
 		defer ms.Close()
@@ -102,20 +129,20 @@ func main() {
 		if cluster != nil {
 			ms.WatchCluster(cluster)
 		}
-		logf("sfserve: serving metrics at http://%s/metrics", ms.Addr())
+		logger.Info("serving metrics and pprof", "metrics", "http://"+ms.Addr()+"/metrics", "pprof", "http://"+ms.Addr()+"/debug/pprof/")
 	}
 
 	srv := &http.Server{Addr: *httpAt, Handler: svc.Handler()}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	logf("sfserve: serving HTTP API at http://%s (state %s)", *httpAt, *state)
+	logger.Info("serving HTTP API", "addr", "http://"+*httpAt, "state", *state)
 
 	select {
 	case <-ctx.Done():
-		logf("sfserve: shutting down (running jobs stay resumable)")
+		logger.Info("shutting down, running jobs stay resumable")
 	case err := <-errc:
 		if err != nil && !errors.Is(err, http.ErrServerClosed) {
-			fmt.Fprintf(os.Stderr, "sfserve: http: %v\n", err)
+			logger.Error("http serve failed", "err", err)
 			svc.Close()
 			os.Exit(1)
 		}

@@ -9,11 +9,14 @@
 // Usage:
 //
 //	sfworker -connect host:port [-parallel N] [-retry 30s] [-metrics host:port]
-//	         [-token SECRET] [-reconnect]
+//	         [-token SECRET] [-reconnect] [-log-level LEVEL]
 //
 // With -metrics the worker serves its own Prometheus-text /metrics
 // endpoint, fed by the interval snapshots of every job it runs — scrape
-// each worker of a fleet to watch a distributed sweep from the inside.
+// each worker of a fleet to watch a distributed sweep from the inside —
+// plus the net/http/pprof profiling surface at /debug/pprof/. Logs are
+// structured (log/slog text format) on stderr; -log-level picks the
+// minimum severity (debug, info, warn, error — default info).
 // -token presents a shared secret to token-guarded coordinators (sfserve
 // -token); a rejected token exits non-zero immediately. -reconnect keeps
 // the worker in service across coordinator restarts and network blips:
@@ -28,6 +31,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"os/signal"
 	"runtime"
@@ -37,6 +41,17 @@ import (
 	stringfigure "repro"
 )
 
+// newLogger builds the process logger: slog text on stderr, gated at the
+// -log-level severity. Exits 2 on an unknown level name.
+func newLogger(name, level string) *slog.Logger {
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(level)); err != nil {
+		fmt.Fprintf(os.Stderr, "%s: -log-level %q: want debug, info, warn or error\n", name, level)
+		os.Exit(2)
+	}
+	return slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lvl}))
+}
+
 func main() {
 	var (
 		connect   = flag.String("connect", "", "coordinator address (host:port), required")
@@ -45,6 +60,7 @@ func main() {
 		metricsAt = flag.String("metrics", "", "serve this worker's own Prometheus-text /metrics endpoint on this address (host:port)")
 		token     = flag.String("token", "", "shared secret for token-guarded coordinators (sfserve -token)")
 		reconnect = flag.Bool("reconnect", false, "redial with backoff after abnormal connection loss (coordinator restarts); orderly shutdown still exits")
+		logLevel  = flag.String("log-level", "info", "minimum log severity: debug, info, warn or error")
 	)
 	flag.Parse()
 	if *connect == "" {
@@ -52,6 +68,7 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	logger := newLogger("sfworker", *logLevel)
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
@@ -60,18 +77,18 @@ func main() {
 		var err error
 		ms, err = stringfigure.ServeMetrics(*metricsAt)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "sfworker: %v\n", err)
+			logger.Error("metrics listen failed", "err", err)
 			os.Exit(1)
 		}
 		defer ms.Close()
-		fmt.Printf("sfworker: serving metrics at http://%s/metrics\n", ms.Addr())
+		logger.Info("serving metrics and pprof", "metrics", "http://"+ms.Addr()+"/metrics", "pprof", "http://"+ms.Addr()+"/debug/pprof/")
 	}
 
 	slots := *parallel
 	if slots <= 0 {
 		slots = runtime.GOMAXPROCS(0)
 	}
-	fmt.Printf("sfworker: dialing %s (%d slots)\n", *connect, slots)
+	logger.Info("dialing coordinator", "addr", *connect, "slots", slots)
 	err := stringfigure.ServeWorker(ctx, *connect, stringfigure.WorkerOptions{
 		Parallel:  slots,
 		DialRetry: *retry,
@@ -80,8 +97,8 @@ func main() {
 		Reconnect: *reconnect,
 	})
 	if err != nil && ctx.Err() == nil {
-		fmt.Fprintf(os.Stderr, "sfworker: %v\n", err)
+		logger.Error("worker service ended", "err", err)
 		os.Exit(1)
 	}
-	fmt.Println("sfworker: coordinator done, exiting")
+	logger.Info("coordinator done, exiting")
 }

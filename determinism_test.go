@@ -60,7 +60,9 @@ func mustNet(t *testing.T, design string, nodes int) *Network {
 
 // TestCrossCoreSessionAllDesigns byte-diffs a synthetic telemetry-enabled
 // Session run between the two cores for all six designs at N=16 and a
-// subset at N=64.
+// subset at N=64. Flow accounting and trace sampling are on, so the
+// byte-diff also pins per-flow/link/router deltas and sampled trace
+// records identical event-vs-reference.
 func TestCrossCoreSessionAllDesigns(t *testing.T) {
 	type scale struct {
 		nodes   int
@@ -74,7 +76,8 @@ func TestCrossCoreSessionAllDesigns(t *testing.T) {
 		for _, d := range sc.designs {
 			t.Run(d, func(t *testing.T) {
 				net := mustNet(t, d, sc.nodes)
-				base := SessionConfig{Rate: 0.08, Warmup: 400, Measure: 1600, Seed: 9}
+				base := SessionConfig{Rate: 0.08, Warmup: 400, Measure: 1600, Seed: 9,
+					FlowBuckets: 4, TraceSampleEvery: 8}
 				coreDiff(t, d, func(cfg SessionConfig) any {
 					var snaps []TelemetrySnapshot
 					cfg = cfg.WithTelemetry(256, func(s TelemetrySnapshot) {
@@ -88,6 +91,52 @@ func TestCrossCoreSessionAllDesigns(t *testing.T) {
 				}, base)
 			})
 		}
+	}
+}
+
+// TestFlowTelemetryOnOffIdentity pins the other half of the observability
+// contract: enabling flow accounting and trace sampling must leave the
+// simulation itself untouched. For every design and both cores, a run with
+// FlowBuckets/TraceSampleEvery set produces a Result byte-identical to a
+// run without them — the accounting reads state the simulation already
+// computed, samples packets by id (no RNG), and never feeds back.
+func TestFlowTelemetryOnOffIdentity(t *testing.T) {
+	for _, d := range Designs() {
+		t.Run(d, func(t *testing.T) {
+			net := mustNet(t, d, 16)
+			for _, ref := range []bool{false, true} {
+				run := func(flow bool) ([]byte, int) {
+					cfg := SessionConfig{Rate: 0.08, Warmup: 400, Measure: 1600,
+						Seed: 9, ReferenceCore: ref}
+					if flow {
+						cfg.FlowBuckets = 4
+						cfg.TraceSampleEvery = 8
+					}
+					records := 0
+					cfg = cfg.WithTelemetry(256, func(s TelemetrySnapshot) {
+						records += len(s.Flows) + len(s.Trace)
+					})
+					res, err := net.NewSession(cfg).Run(SyntheticWorkload{Pattern: "uniform"})
+					if err != nil {
+						t.Fatal(err)
+					}
+					b, err := json.Marshal(res)
+					if err != nil {
+						t.Fatal(err)
+					}
+					return b, records
+				}
+				on, records := run(true)
+				off, _ := run(false)
+				if !bytes.Equal(on, off) {
+					t.Errorf("%s ref=%v: flow telemetry perturbs the result\non:  %s\noff: %s",
+						d, ref, clip(on), clip(off))
+				}
+				if records == 0 {
+					t.Errorf("%s ref=%v: no flow/trace records with accounting enabled", d, ref)
+				}
+			}
+		})
 	}
 }
 
@@ -161,7 +210,8 @@ func TestCrossCoreGatedTelemetry(t *testing.T) {
 		t.Run(d, func(t *testing.T) {
 			net := mustNet(t, d, 32)
 			base := SessionConfig{Rate: 0.08, Warmup: 500, Measure: 40_000, Seed: 7,
-				TelemetryEvery: 1000, Gates: gates}
+				TelemetryEvery: 1000, Gates: gates,
+				FlowBuckets: 4, TraceSampleEvery: 4}
 			coreDiff(t, d, func(cfg SessionConfig) any {
 				var snaps []TelemetrySnapshot
 				cfg = cfg.WithTelemetry(0, func(s TelemetrySnapshot) {

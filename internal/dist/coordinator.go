@@ -217,6 +217,7 @@ func (c *Coordinator) handle(conn net.Conn) {
 		// Reject with a goodbye whose Err is set: the worker surfaces it
 		// as ErrUnauthorized instead of treating the close as a crash it
 		// should reconnect through.
+		c.cfg.logf("dist: rejected worker hello from %s: bad token", conn.RemoteAddr())
 		conn.SetWriteDeadline(time.Now().Add(c.cfg.HeartbeatTimeout))
 		writeFrame(conn, &frame{Type: msgGoodbye, Err: ErrUnauthorized.Error()})
 		conn.Close()
@@ -252,6 +253,7 @@ func (c *Coordinator) handle(conn net.Conn) {
 		c.drop(w)
 		return
 	}
+	c.cfg.logf("dist: worker %d joined from %s (capacity %d)", w.id, conn.RemoteAddr(), w.capacity)
 
 	// A joining worker immediately pumps every active run.
 	for _, r := range active {
@@ -423,6 +425,7 @@ func (c *Coordinator) drop(w *remote) {
 	}
 	w.inflight = nil // pumps racing a send now requeue themselves
 	w.imu.Unlock()
+	c.cfg.logf("dist: worker %d lost, requeueing %d in-flight tasks", w.id, len(keys))
 	for _, k := range keys {
 		if r := runsByID[k[0]]; r != nil {
 			r.requeue(k[1])
@@ -572,6 +575,7 @@ func (r *run) requeue(id int) {
 	exhausted := r.requeues[id] > r.c.cfg.MaxRequeues
 	r.mu.Unlock()
 	if exhausted {
+		r.c.cfg.logf("dist: task %d of run %d abandoned after %d dispatch attempts", id, r.id, r.requeues[id])
 		r.complete(id, nil, fmt.Errorf("%w: task %d abandoned after %d dispatch attempts",
 			ErrWorkerLost, id, r.requeues[id]))
 		return

@@ -131,6 +131,18 @@ type Config struct {
 	// session token and this worker's assigned id right after the
 	// handshake. Reconnect loops use it to detect coordinator restarts.
 	OnWelcome func(session string, worker int)
+	// Logf, when set, receives the transport's operational log lines —
+	// worker joins and losses, auth rejections, task requeues. nil is
+	// silent (the historical behavior). Called from connection
+	// goroutines: keep it fast and safe for concurrent use.
+	Logf func(format string, args ...any)
+}
+
+// logf emits one operational log line when a logger is configured.
+func (c *Config) logf(format string, args ...any) {
+	if c.Logf != nil {
+		c.Logf(format, args...)
+	}
 }
 
 func (c *Config) fill() {

@@ -3,6 +3,7 @@ package metrics
 import (
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"sync"
 	"time"
 )
@@ -20,7 +21,10 @@ func (r *Registry) Handler() http.Handler {
 }
 
 // Server is a minimal standalone HTTP server exposing one registry at
-// /metrics (and the same page at /, so `curl host:port` works too).
+// /metrics (and the same page at /, so `curl host:port` works too), plus
+// the runtime profiling surface at /debug/pprof/ — every binary that
+// exposes a -metrics listener gets CPU/heap/goroutine introspection for
+// free, with no separate debug port to configure.
 type Server struct {
 	ln  net.Listener
 	srv *http.Server
@@ -39,6 +43,14 @@ func Serve(addr string, reg *Registry) (*Server, error) {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", reg.Handler())
 	mux.Handle("/", reg.Handler())
+	// net/http/pprof registers on http.DefaultServeMux only; mount its
+	// handlers explicitly so the profiling surface rides this mux (the
+	// more specific /debug/pprof/ pattern wins over the / metrics page).
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	s := &Server{ln: ln, srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}}
 	go s.srv.Serve(ln)
 	return s, nil

@@ -107,6 +107,76 @@ func TestCrossCoreTraceAndClosedLoop(t *testing.T) {
 	})
 }
 
+// TestCrossCoreFlowTelemetry pins the flow-observability layer at the
+// netsim boundary: with flow accounting and trace sampling enabled, both
+// cores must produce identical Results and identical snapshot streams —
+// including the per-flow/link/router deltas and the sorted trace records —
+// and enabling the accounting must leave the simulation itself (Results
+// plus the pre-existing snapshot fields) bit-identical to a run without it,
+// on either core.
+func TestCrossCoreFlowTelemetry(t *testing.T) {
+	sf, err := topology.NewStringFigure(topology.Config{N: 32, Ports: 4, Seed: 3, Shortcuts: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pat, err := traffic.NewPattern("uniform", 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drive := func(s *Sim) {
+		s.SetPattern(0.1, pat)
+		s.Run(900)
+		s.ResetStats()
+		s.Run(1200)
+	}
+	flowCfg := func() Config {
+		c := SFConfig(sf, 7)
+		c.FlowBuckets = 4
+		c.TraceSampleEvery = 8
+		return c
+	}
+
+	// Event vs reference with the accounting on.
+	checkCores(t, flowCfg(), drive)
+
+	// On vs off, per core: the accounting is purely observational.
+	run := func(c Config) (Results, []Snapshot) {
+		var snaps []Snapshot
+		c.SnapshotEvery = 64
+		c.OnSnapshot = func(sn Snapshot) { snaps = append(snaps, sn) }
+		s, err := New(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		drive(s)
+		return s.Results(), snaps
+	}
+	for _, ref := range []bool{false, true} {
+		on := flowCfg()
+		on.ReferenceCore = ref
+		off := SFConfig(sf, 7)
+		off.ReferenceCore = ref
+		onRes, onSnaps := run(on)
+		offRes, offSnaps := run(off)
+		if !reflect.DeepEqual(onRes, offRes) {
+			t.Errorf("ref=%v: flow accounting perturbs results:\non:  %+v\noff: %+v", ref, onRes, offRes)
+		}
+		var flows, traces int
+		for i := range onSnaps {
+			flows += len(onSnaps[i].Flows)
+			traces += len(onSnaps[i].Trace)
+			onSnaps[i].Flows, onSnaps[i].Links = nil, nil
+			onSnaps[i].Routers, onSnaps[i].Trace = nil, nil
+		}
+		if flows == 0 || traces == 0 {
+			t.Errorf("ref=%v: accounting enabled but emitted %d flow deltas, %d trace records", ref, flows, traces)
+		}
+		if !reflect.DeepEqual(onSnaps, offSnaps) {
+			t.Errorf("ref=%v: flow accounting perturbs the base snapshot stream", ref)
+		}
+	}
+}
+
 // TestCrossCoreMidRunHooks pins bit-identity while the mid-run hooks used
 // by gate schedules fire: routing-table mutation between Run slices, link
 // latency swaps (wake charging), and escape-route swaps.

@@ -73,6 +73,22 @@ type Config struct {
 	SnapshotEvery int64
 	// OnSnapshot receives interval snapshots; callbacks run inside Run.
 	OnSnapshot func(Snapshot)
+	// FlowBuckets enables per-flow attribution: nodes fold into this many
+	// src/dst buckets (clamped to the node count) and every delivery lands
+	// in its (src bucket, dst bucket) latency+hop histograms, emitted as
+	// interval deltas on each Snapshot together with per-link and
+	// per-router utilization counters. 0 disables. The accounting is
+	// observational — it reads packet fields the simulation already
+	// computed and never touches the RNG — so results stay bit-identical
+	// with it on or off.
+	FlowBuckets int
+	// TraceSampleEvery samples packet-lifecycle traces: packets whose id
+	// divides by this value record inject/hop/escape/drop/deliver events,
+	// flushed into Snapshot.Trace sorted by (packet, cycle, kind).
+	// Sampling keys on the deterministic packet id — no RNG — so tracing
+	// on/off leaves results bit-identical. 0 disables; tracing needs an
+	// OnSnapshot probe to drain the buffer and is otherwise ignored.
+	TraceSampleEvery int64
 	// ReferenceCore selects the full-scan simulation core: every router is
 	// visited every cycle, candidate next hops come from the allocating
 	// routing.Algorithm.Candidates path, and occupancy is counted by
@@ -310,6 +326,12 @@ type Sim struct {
 	// emitSnapshot advances it and ResetStats re-anchors it.
 	snapBase snapBase
 
+	// fl/tr are the flow-attribution and trace-sampling accountants (see
+	// flow.go); nil unless enabled by Config, so the disabled hot path pays
+	// one nil check per hook.
+	fl *flowAcct
+	tr *traceAcct
+
 	// active is the worklist of routers with queued or waiting flits. The
 	// wake calendar of pending link arrivals is split between wheel (a
 	// timing wheel of the next wheelSize cycles, O(1) per wake) and events
@@ -504,6 +526,12 @@ func New(cfg Config) (*Sim, error) {
 			s.linkAt[r.linkBase+int32(p)] = linkLoc{rtr: int32(r.id), port: int32(p)}
 		}
 	}
+	if cfg.FlowBuckets > 0 {
+		s.fl = newFlowAcct(cfg.FlowBuckets, n, links)
+	}
+	if cfg.TraceSampleEvery > 0 && cfg.OnSnapshot != nil && cfg.SnapshotEvery > 0 {
+		s.tr = &traceAcct{every: cfg.TraceSampleEvery, buf: make([]TraceRecord, 0, 256)}
+	}
 	s.active = newActiveSet(n)
 	s.portStamp = make([]int32, n)
 	s.portVal = make([]int32, n)
@@ -673,6 +701,9 @@ func (s *Sim) deliverLinkFlitsRef() {
 // deliverFlit lands one flit from r's output port p downstream.
 func (s *Sim) deliverFlit(r *router, p int, f flit) {
 	dn := s.routers[r.outNbr[p]]
+	if s.tr != nil && f.head {
+		s.traceEvent(f.pkt, TraceHop, dn.id)
+	}
 	unit := int(r.downInPort[p])*s.cfg.VCs + f.vc
 	iu := &dn.in[unit]
 	wasEmpty := iu.q.Len() == 0
@@ -829,6 +860,9 @@ func (s *Sim) enqueueSized(r *router, src, dst, flits int, tag int64) {
 	s.nextID++
 	s.res.Injected++
 	s.flitsIn += flits
+	if s.tr != nil {
+		s.traceEvent(p, TraceInject, src)
+	}
 	for i := 0; i < flits; i++ {
 		r.srcQ.push(flit{pkt: p, vc: p.advc, head: i == 0, tail: i == flits-1})
 	}
@@ -1001,6 +1035,9 @@ func (s *Sim) routeUnit(r *router, i, eject int) {
 		// the packet permanently undeliverable: drop it rather than
 		// let it clog the escape channels forever.
 		if !s.assignEscape(r, iu, i, f.pkt) {
+			if s.tr != nil {
+				s.traceEvent(f.pkt, TraceDrop, r.id)
+			}
 			s.purgeHeadPacket(r, i)
 			s.res.Dropped++
 		}
@@ -1048,9 +1085,15 @@ func (s *Sim) routeUnit(r *router, i, eject int) {
 		if s.cfg.EscapeRoute != nil && s.assignEscape(r, iu, i, f.pkt) {
 			return
 		}
+		if s.tr != nil {
+			s.traceEvent(f.pkt, TraceDrop, r.id)
+		}
 		s.purgeHeadPacket(r, i)
 		s.res.Dropped++
 	default: // rcNoPort
+		if s.tr != nil {
+			s.traceEvent(f.pkt, TraceDrop, r.id)
+		}
 		s.purgeHeadPacket(r, i)
 		s.res.Dropped++
 	}
@@ -1070,6 +1113,9 @@ func (s *Sim) assignEscape(r *router, iu *inputUnit, unit int, p *packet) bool {
 	if !p.escaped {
 		p.escaped = true
 		s.res.Escaped++
+		if s.tr != nil {
+			s.traceEvent(p, TraceEscape, r.id)
+		}
 	}
 	if iu.route >= 0 {
 		r.candClear(iu.route, unit) // diversion: release the old output
@@ -1354,6 +1400,9 @@ func (s *Sim) arbitrateSlot(r *router, out, nUnits, eject, vcs int) bool {
 	r.queued--
 	iu.blocked = 0
 	s.lastMove = s.cycle
+	if s.fl != nil {
+		s.fl.rtrs[r.id]++
+	}
 	outVC := iu.outVC
 	if f.head {
 		r.ovcs[out*vcs+outVC].owner = int32(granted)
@@ -1396,6 +1445,9 @@ func (s *Sim) arbitrateSlot(r *router, out, nUnits, eject, vcs int) bool {
 		s.scheduleWake(s.cycle+lat, r.linkBase+int32(out))
 	}
 	s.res.FlitHops++
+	if s.fl != nil {
+		s.fl.links[r.linkBase+int32(out)]++
+	}
 	if f.head {
 		f.pkt.hops++
 	}
@@ -1430,6 +1482,12 @@ func (s *Sim) recordDelivery(p *packet) {
 	s.res.HopHist.Observe(p.hops)
 	if s.res.MinInjectLatency < 0 || lat < s.res.MinInjectLatency {
 		s.res.MinInjectLatency = lat
+	}
+	if s.fl != nil {
+		s.fl.observe(p.src, p.dst, lat, p.hops)
+	}
+	if s.tr != nil {
+		s.traceEvent(p, TraceDeliver, p.dst)
 	}
 	if s.cfg.OnDelivered != nil {
 		s.cfg.OnDelivered(p.src, p.dst, p.tag)
@@ -1476,6 +1534,12 @@ func (s *Sim) Results() Results {
 func (s *Sim) ResetStats() {
 	s.res = Results{MinInjectLatency: -1}
 	s.snapBase = snapBase{cycle: s.cycle}
+	if s.fl != nil {
+		s.fl.reset()
+	}
+	if s.tr != nil {
+		s.tr.buf = s.tr.buf[:0]
+	}
 }
 
 // SetEscapeRoute swaps the escape routing function mid-run — the hook

@@ -25,6 +25,17 @@ type Snapshot struct {
 	ThroughputFPC    float64 // delivered flits per node per interval cycle
 
 	InFlight int // flits inside the network at emission (occupancy)
+
+	// Flow attribution (nil unless Config.FlowBuckets > 0): the interval's
+	// per-flow delivery deltas plus per-link and per-router utilization,
+	// zero entries omitted. See flow.go.
+	Flows   []FlowDelta
+	Links   []LinkDelta
+	Routers []RouterDelta
+
+	// Trace holds the interval's sampled packet-lifecycle records, sorted
+	// by (packet, cycle, kind) — nil unless Config.TraceSampleEvery > 0.
+	Trace []TraceRecord
 }
 
 // snapBase is the counter baseline of the current interval.
@@ -59,6 +70,12 @@ func (s *Sim) emitSnapshot() {
 	if snap.IntervalCycles > 0 && len(s.routers) > 0 {
 		snap.ThroughputFPC = float64(s.res.FlitsDelivered-b.flitsDelivered) /
 			float64(snap.IntervalCycles) / float64(len(s.routers))
+	}
+	if s.fl != nil {
+		s.emitFlowDeltas(&snap)
+	}
+	if s.tr != nil {
+		s.emitTrace(&snap)
 	}
 	s.snapBase = snapBase{
 		cycle:          s.cycle,

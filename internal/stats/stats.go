@@ -242,6 +242,27 @@ func (h *Histogram) Clone() Histogram {
 	return Histogram{counts: append([]int64(nil), h.counts...), total: h.total}
 }
 
+// NewHistogramBuffer returns a histogram that grows into buf: observations
+// append into buf's backing array and allocate only once the histogram
+// outgrows cap(buf). It is the arena constructor behind netsim's per-flow
+// accounting, where many small histograms share one pre-carved slice and
+// the steady state must stay off the allocator.
+func NewHistogramBuffer(buf []int64) Histogram {
+	return Histogram{counts: buf[:0]}
+}
+
+// Reset zeroes the histogram in place, keeping the bucket storage (arena or
+// grown) for reuse. Interval-local accounting resets after each emission
+// instead of cloning a baseline, so per-interval cost is O(buckets touched)
+// with no allocation.
+func (h *Histogram) Reset() {
+	for i := range h.counts {
+		h.counts[i] = 0
+	}
+	h.counts = h.counts[:0]
+	h.total = 0
+}
+
 // DeltaSince returns the histogram of observations recorded between prev (an
 // earlier Clone of this histogram) and now. Buckets where prev exceeds the
 // current count — only possible when prev is not actually an earlier snapshot

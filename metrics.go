@@ -2,6 +2,8 @@ package stringfigure
 
 import (
 	"fmt"
+	"sort"
+	"sync"
 	"time"
 
 	"repro/internal/metrics"
@@ -23,6 +25,10 @@ import (
 //	escaped_total, dropped_total     escape diversions / unroutable drops
 //	in_flight                        network flit occupancy (last interval)
 //	interval_latency_ns              histogram of per-interval avg latency
+//	flow_delivered_total{src,dst}    per-flow-bucket deliveries (FlowBuckets runs)
+//	flow_latency_ns{src,dst}         per-flow-bucket avg latency, last interval
+//	link_flits_total{from,to}        per-link flits forwarded (heatmap source)
+//	router_flits_total{node}         per-router crossbar flits forwarded
 //	workers                          connected cluster workers
 //	worker_active{worker=...}        per-worker in-flight sweep points
 //	worker_capacity{worker=...}      per-worker concurrent-session slots
@@ -43,6 +49,21 @@ type MetricsServer struct {
 	dropped   *metrics.Counter
 	inFlight  *metrics.Gauge
 	latency   *metrics.Histogram
+
+	// Flow-attribution series, populated only when snapshots carry flow
+	// samples (SessionConfig.FlowBuckets > 0). Cumulative counters keyed by
+	// bucket pair / link / router; rendered as labeled samples at scrape.
+	mu      sync.Mutex
+	flows   map[[2]int]*flowStat
+	links   map[[2]int]int64
+	routers map[int]int64
+}
+
+// flowStat is one flow bucket pair's exported state: cumulative deliveries
+// plus the latest interval's average latency.
+type flowStat struct {
+	delivered int64
+	latencyNs float64
 }
 
 // MetricsOption configures ServeMetrics.
@@ -99,7 +120,28 @@ func ServeMetrics(addr string, opts ...MetricsOption) (*MetricsServer, error) {
 		latency: reg.Histogram("stringfigure_interval_latency_ns",
 			"Per-interval average packet latency in nanoseconds.",
 			o.latencyBuckets),
+		flows:   make(map[[2]int]*flowStat),
+		links:   make(map[[2]int]int64),
+		routers: make(map[int]int64),
 	}
+	reg.GaugeFunc("stringfigure_flow_delivered_total",
+		"Packets delivered per (src bucket, dst bucket) flow, summed over intervals.",
+		func() []metrics.Sample {
+			return m.flowSamples(func(fs *flowStat) float64 { return float64(fs.delivered) },
+				"stringfigure_flow_delivered_total")
+		})
+	reg.GaugeFunc("stringfigure_flow_latency_ns",
+		"Average packet latency per flow over the last observed interval.",
+		func() []metrics.Sample {
+			return m.flowSamples(func(fs *flowStat) float64 { return fs.latencyNs },
+				"stringfigure_flow_latency_ns")
+		})
+	reg.GaugeFunc("stringfigure_link_flits_total",
+		"Flits forwarded per directed link, summed over intervals.",
+		m.linkSamples)
+	reg.GaugeFunc("stringfigure_router_flits_total",
+		"Flits forwarded through each router's crossbar, summed over intervals.",
+		m.routerSamples)
 	srv, err := metrics.Serve(addr, reg)
 	if err != nil {
 		return nil, fmt.Errorf("stringfigure: metrics listen: %w", err)
@@ -129,6 +171,94 @@ func (m *MetricsServer) Observe(t TelemetrySnapshot) {
 	if t.Delivered > 0 {
 		m.latency.Observe(t.AvgLatencyNs)
 	}
+	if len(t.Flows) == 0 && len(t.Links) == 0 && len(t.Routers) == 0 {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, f := range t.Flows {
+		k := [2]int{f.SrcBucket, f.DstBucket}
+		fs := m.flows[k]
+		if fs == nil {
+			fs = &flowStat{}
+			m.flows[k] = fs
+		}
+		fs.delivered += f.Delivered
+		fs.latencyNs = f.AvgLatencyNs
+	}
+	for _, l := range t.Links {
+		m.links[[2]int{l.From, l.To}] += l.Flits
+	}
+	for _, r := range t.Routers {
+		m.routers[r.Node] += r.Flits
+	}
+}
+
+// flowSamples renders the flow map as labeled samples in bucket order.
+func (m *MetricsServer) flowSamples(v func(*flowStat) float64, name string) []metrics.Sample {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	keys := make([][2]int, 0, len(m.flows))
+	for k := range m.flows {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	out := make([]metrics.Sample, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, metrics.Sample{
+			Name:  fmt.Sprintf("%s{src=\"%d\",dst=\"%d\"}", name, k[0], k[1]),
+			Value: v(m.flows[k]),
+		})
+	}
+	return out
+}
+
+// linkSamples renders the link utilization map in (from, to) order.
+func (m *MetricsServer) linkSamples() []metrics.Sample {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	keys := make([][2]int, 0, len(m.links))
+	for k := range m.links {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	out := make([]metrics.Sample, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, metrics.Sample{
+			Name:  fmt.Sprintf("stringfigure_link_flits_total{from=\"%d\",to=\"%d\"}", k[0], k[1]),
+			Value: float64(m.links[k]),
+		})
+	}
+	return out
+}
+
+// routerSamples renders the router utilization map in node order.
+func (m *MetricsServer) routerSamples() []metrics.Sample {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	keys := make([]int, 0, len(m.routers))
+	for k := range m.routers {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	out := make([]metrics.Sample, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, metrics.Sample{
+			Name:  fmt.Sprintf("stringfigure_router_flits_total{node=\"%d\"}", k),
+			Value: float64(m.routers[k]),
+		})
+	}
+	return out
 }
 
 // WatchCluster exposes the cluster's per-worker liveness at scrape time:

@@ -48,20 +48,27 @@ type JobSpec struct {
 
 	// Telemetry streams interval snapshots onto the job's live stream
 	// (GET /v1/jobs/{id}/stream), every TelemetryEvery cycles (default
-	// 1000). Telemetry never perturbs results.
-	Telemetry      bool  `json:"telemetry,omitempty"`
-	TelemetryEvery int64 `json:"telemetry_every,omitempty"`
+	// 1000). Telemetry never perturbs results. FlowBuckets adds per-flow
+	// deltas and link/router utilization to every streamed snapshot;
+	// TraceSampleEvery adds 1-in-K sampled packet-lifecycle traces (see
+	// SessionConfig). Both are inert unless Telemetry is set.
+	Telemetry        bool  `json:"telemetry,omitempty"`
+	TelemetryEvery   int64 `json:"telemetry_every,omitempty"`
+	FlowBuckets      int   `json:"flow_buckets,omitempty"`
+	TraceSampleEvery int64 `json:"trace_sample_every,omitempty"`
 }
 
 // sessionConfig assembles the sweep's base session configuration.
 func (js JobSpec) sessionConfig() SessionConfig {
 	return SessionConfig{
-		Seed:           js.Seed,
-		Warmup:         js.Warmup,
-		Measure:        js.Measure,
-		PacketFlits:    js.PacketFlits,
-		Ops:            js.Ops,
-		TelemetryEvery: js.TelemetryEvery,
+		Seed:             js.Seed,
+		Warmup:           js.Warmup,
+		Measure:          js.Measure,
+		PacketFlits:      js.PacketFlits,
+		Ops:              js.Ops,
+		TelemetryEvery:   js.TelemetryEvery,
+		FlowBuckets:      js.FlowBuckets,
+		TraceSampleEvery: js.TraceSampleEvery,
 	}
 }
 

@@ -51,6 +51,20 @@ type SessionConfig struct {
 	// snapshots streamed by Session.RunTelemetry or a WithTelemetry sink
 	// (default 1000). It has no effect until a sink is attached.
 	TelemetryEvery int64
+	// FlowBuckets enables flow-level attribution on the telemetry stream:
+	// nodes fold into this many src/dst buckets (clamped to the node
+	// count) and every snapshot carries the interval's per-flow latency/
+	// hop deltas plus per-link and per-router utilization (see
+	// TelemetrySnapshot.Flows/Links/Routers). 0 disables. Attribution is
+	// observational — Results stay bit-identical with it on or off — and,
+	// like TelemetryEvery, it has no effect until a sink is attached.
+	FlowBuckets int
+	// TraceSampleEvery samples packet-lifecycle traces onto the telemetry
+	// stream: packets whose id divides by this value record their inject/
+	// hop/escape/drop/deliver events into TelemetrySnapshot.Trace.
+	// Sampling keys on the deterministic packet id (no RNG), so tracing
+	// on/off leaves Results bit-identical. 0 disables; needs a sink.
+	TraceSampleEvery int64
 	// Gates schedules mid-run reconfiguration: each event gates a node off
 	// or back on at its absolute network cycle inside the running
 	// simulation (synthetic workloads on reconfigurable designs only).

@@ -46,6 +46,59 @@ type TelemetrySnapshot struct {
 	// OutstandingReads is the memory-side read occupancy (trace runs only).
 	InFlight         int `json:"in_flight"`
 	OutstandingReads int `json:"outstanding_reads,omitempty"`
+
+	// Flow attribution (SessionConfig.FlowBuckets > 0 only): the interval's
+	// per-flow deltas and per-link/per-router utilization, zero entries
+	// omitted. Trace holds the interval's sampled packet-lifecycle events
+	// (SessionConfig.TraceSampleEvery > 0 only), sorted by (packet, cycle,
+	// event order). All ride the dist wire and the jobsvc stream unchanged.
+	Flows   []FlowSample       `json:"flows,omitempty"`
+	Links   []LinkSample       `json:"links,omitempty"`
+	Routers []RouterSample     `json:"routers,omitempty"`
+	Trace   []PacketTraceEvent `json:"trace,omitempty"`
+}
+
+// FlowSample is one (src bucket, dst bucket) flow's interval delta: the
+// deliveries attributed to packets injected in the source bucket toward the
+// destination bucket, with their latency and hop aggregates.
+type FlowSample struct {
+	SrcBucket    int     `json:"src_bucket"`
+	DstBucket    int     `json:"dst_bucket"`
+	Delivered    int64   `json:"delivered"`
+	AvgLatencyNs float64 `json:"avg_latency_ns"`
+	P90LatencyNs float64 `json:"p90_latency_ns"`
+	AvgHops      float64 `json:"avg_hops"`
+}
+
+// LinkSample is one directed link's interval utilization (flits sent) —
+// the heatmap primitive.
+type LinkSample struct {
+	From  int   `json:"from"`
+	To    int   `json:"to"`
+	Flits int64 `json:"flits"`
+}
+
+// RouterSample is one router's interval utilization: flits forwarded
+// through its crossbar (link sends and ejections).
+type RouterSample struct {
+	Node  int   `json:"node"`
+	Flits int64 `json:"flits"`
+}
+
+// PacketTraceEvent is one sampled packet-lifecycle record: Event is one of
+// "inject", "hop", "escape", "drop", "deliver"; Node is where it happened;
+// LatencyNs is set on deliver/drop. Sampled packets (1 in
+// SessionConfig.TraceSampleEvery by packet id) record every event, so a
+// packet's full itinerary reconstructs by grouping records on Packet.
+type PacketTraceEvent struct {
+	Packet    int64   `json:"packet"`
+	Src       int     `json:"src"`
+	Dst       int     `json:"dst"`
+	Event     string  `json:"event"`
+	Cycle     int64   `json:"cycle"`
+	Node      int     `json:"node"`
+	Hops      int     `json:"hops,omitempty"`
+	LatencyNs float64 `json:"latency_ns,omitempty"`
 }
 
 // GateEvent schedules one reconfiguration inside a running session: at the
@@ -131,7 +184,7 @@ func (s *Session) RunTelemetry(ctx context.Context, w Workload) (<-chan Telemetr
 // (cycles become nanoseconds at the 312.5 MHz network clock). Point is -1
 // until a sweep stamps its index.
 func telemetryOf(ns netsim.Snapshot, rate float64) TelemetrySnapshot {
-	return TelemetrySnapshot{
+	t := TelemetrySnapshot{
 		Rate:           rate,
 		Point:          -1,
 		Cycle:          ns.Cycle,
@@ -145,6 +198,47 @@ func telemetryOf(ns netsim.Snapshot, rate float64) TelemetrySnapshot {
 		Dropped:        ns.Dropped,
 		InFlight:       ns.InFlight,
 	}
+	if len(ns.Flows) > 0 {
+		t.Flows = make([]FlowSample, len(ns.Flows))
+		for i, f := range ns.Flows {
+			t.Flows[i] = FlowSample{
+				SrcBucket:    f.SrcBucket,
+				DstBucket:    f.DstBucket,
+				Delivered:    f.Delivered,
+				AvgLatencyNs: f.AvgLatencyCycles * netsim.CycleNs,
+				P90LatencyNs: float64(f.P90LatencyCycles) * netsim.CycleNs,
+				AvgHops:      f.AvgHops,
+			}
+		}
+	}
+	if len(ns.Links) > 0 {
+		t.Links = make([]LinkSample, len(ns.Links))
+		for i, l := range ns.Links {
+			t.Links[i] = LinkSample{From: l.From, To: l.To, Flits: l.Flits}
+		}
+	}
+	if len(ns.Routers) > 0 {
+		t.Routers = make([]RouterSample, len(ns.Routers))
+		for i, r := range ns.Routers {
+			t.Routers[i] = RouterSample{Node: r.Node, Flits: r.Flits}
+		}
+	}
+	if len(ns.Trace) > 0 {
+		t.Trace = make([]PacketTraceEvent, len(ns.Trace))
+		for i, tr := range ns.Trace {
+			t.Trace[i] = PacketTraceEvent{
+				Packet:    tr.Packet,
+				Src:       tr.Src,
+				Dst:       tr.Dst,
+				Event:     tr.Kind.String(),
+				Cycle:     tr.Cycle,
+				Node:      tr.Node,
+				Hops:      tr.Hops,
+				LatencyNs: float64(tr.Latency) * netsim.CycleNs,
+			}
+		}
+	}
+	return t
 }
 
 // runSyntheticGated is runSynthetic for sessions with a gate schedule: the
@@ -417,6 +511,8 @@ func wireTelemetry(simCfg *netsim.Config, cfg SessionConfig, rate float64, occup
 	}
 	sink := cfg.onTelemetry
 	simCfg.SnapshotEvery = cfg.TelemetryEvery
+	simCfg.FlowBuckets = cfg.FlowBuckets
+	simCfg.TraceSampleEvery = cfg.TraceSampleEvery
 	simCfg.OnSnapshot = func(ns netsim.Snapshot) {
 		t := telemetryOf(ns, rate)
 		if occupancy != nil {
