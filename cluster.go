@@ -273,7 +273,7 @@ func (c *netCache) runJob(ctx context.Context, payload []byte, emit func([]byte)
 	if err != nil {
 		return nil, err
 	}
-	cfg := job.Cfg
+	cfg := job.Cfg.cfg()
 	var flush func()
 	if localSink := c.observe; job.Telemetry && emit != nil || localSink != nil {
 		// One point's snapshots are produced sequentially on its simulating

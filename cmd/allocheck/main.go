@@ -19,8 +19,6 @@ import (
 	"bytes"
 	"fmt"
 	"go/ast"
-	"go/parser"
-	"go/token"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -28,6 +26,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"repro/internal/lintutil"
 )
 
 // hotFuncs are the per-cycle functions of internal/netsim: everything a
@@ -118,21 +118,19 @@ type funcSpan struct {
 	start, end int
 }
 
-// functionRanges parses every non-test .go file in dir and records the
-// line span of each top-level function (methods keyed by bare name;
-// closures attribute to their enclosing function via the span).
+// functionRanges parses every non-test .go file in dir (via the shared
+// internal/lintutil loader) and records the line span of each top-level
+// function (methods keyed by bare name; closures attribute to their
+// enclosing function via the span).
 func functionRanges(dir string) (map[string][]funcSpan, error) {
-	fset := token.NewFileSet()
-	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
-		return !strings.HasSuffix(fi.Name(), "_test.go")
-	}, 0)
+	pkgs, err := lintutil.Load(lintutil.ParseOnly, dir)
 	if err != nil {
 		return nil, err
 	}
 	out := make(map[string][]funcSpan)
-	for _, pkg := range pkgs {
-		for path, file := range pkg.Files {
-			base := filepath.Base(path)
+	for _, p := range pkgs {
+		for _, file := range p.Files {
+			base := p.Filename(file.Pos())
 			for _, decl := range file.Decls {
 				fd, ok := decl.(*ast.FuncDecl)
 				if !ok || fd.Body == nil {
@@ -140,8 +138,8 @@ func functionRanges(dir string) (map[string][]funcSpan, error) {
 				}
 				out[base] = append(out[base], funcSpan{
 					name:  fd.Name.Name,
-					start: fset.Position(fd.Pos()).Line,
-					end:   fset.Position(fd.End()).Line,
+					start: p.Fset.Position(fd.Pos()).Line,
+					end:   p.Fset.Position(fd.End()).Line,
 				})
 			}
 			sort.Slice(out[base], func(i, j int) bool { return out[base][i].start < out[base][j].start })

@@ -8,20 +8,22 @@
 //
 //	doccheck DIR [DIR...]
 //
-// Each DIR is parsed as one package directory (test files are skipped).
-// An exported const/var/type/func needs a doc comment on its declaration
-// or, inside a grouped declaration, on the group or the individual spec.
-// Exported methods of exported types are checked too; methods of
-// unexported types are not part of the package's godoc and are exempt.
+// Each DIR is parsed as one package directory (test files are skipped)
+// via the shared internal/lintutil loader; findings print in the common
+// "file:line: doccheck: message" gate format. An exported
+// const/var/type/func needs a doc comment on its declaration or, inside
+// a grouped declaration, on the group or the individual spec. Exported
+// methods of exported types are checked too; methods of unexported
+// types are not part of the package's godoc and are exempt.
 package main
 
 import (
 	"fmt"
 	"go/ast"
-	"go/parser"
 	"go/token"
 	"os"
-	"strings"
+
+	"repro/internal/lintutil"
 )
 
 func main() {
@@ -29,75 +31,60 @@ func main() {
 		fmt.Fprintln(os.Stderr, "usage: doccheck DIR [DIR...]")
 		os.Exit(2)
 	}
-	bad := 0
-	for _, dir := range os.Args[1:] {
-		missing, err := check(dir)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "doccheck: %v\n", err)
-			os.Exit(2)
-		}
-		for _, m := range missing {
-			fmt.Println(m)
-			bad++
-		}
+	pkgs, err := lintutil.Load(lintutil.ParseOnly, os.Args[1:]...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "doccheck: %v\n", err)
+		os.Exit(2)
 	}
-	if bad > 0 {
-		fmt.Fprintf(os.Stderr, "doccheck: %d undocumented exported symbols\n", bad)
+	rep := &lintutil.Report{}
+	for _, p := range pkgs {
+		check(p, rep)
+	}
+	if n := rep.Print(os.Stdout); n > 0 {
+		fmt.Fprintf(os.Stderr, "doccheck: %d undocumented exported symbols\n", n)
 		os.Exit(1)
 	}
+	fmt.Printf("doccheck: 0 findings across %d packages\n", len(pkgs))
 }
 
-// check parses one package directory and returns a report line per
-// undocumented exported symbol.
-func check(dir string) ([]string, error) {
-	fset := token.NewFileSet()
-	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
-		return !strings.HasSuffix(fi.Name(), "_test.go")
-	}, parser.ParseComments)
-	if err != nil {
-		return nil, err
-	}
-	var missing []string
+// check reports every undocumented exported symbol of one package.
+func check(p *lintutil.Package, rep *lintutil.Report) {
 	report := func(pos token.Pos, kind, name string) {
-		p := fset.Position(pos)
-		missing = append(missing, fmt.Sprintf("%s:%d: exported %s %s has no doc comment",
-			p.Filename, p.Line, kind, name))
+		rep.Add(p.Fset, pos, "doccheck", "exported %s %s has no doc comment", kind, name)
 	}
-	for _, pkg := range pkgs {
-		for _, file := range pkg.Files {
-			for _, decl := range file.Decls {
-				switch d := decl.(type) {
-				case *ast.FuncDecl:
-					if !d.Name.IsExported() || d.Doc != nil {
-						continue
+	for _, file := range p.Files {
+		for _, decl := range file.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if !d.Name.IsExported() || d.Doc != nil {
+					continue
+				}
+				kind, name := "function", d.Name.Name
+				if d.Recv != nil {
+					recv := recvName(d.Recv)
+					if !ast.IsExported(recv) {
+						continue // not part of the package godoc
 					}
-					kind, name := "function", d.Name.Name
-					if d.Recv != nil {
-						recv := recvName(d.Recv)
-						if !ast.IsExported(recv) {
-							continue // not part of the package godoc
+					kind, name = "method", recv+"."+d.Name.Name
+				}
+				report(d.Pos(), kind, name)
+			case *ast.GenDecl:
+				if d.Doc != nil {
+					continue // the group comment documents every spec
+				}
+				for _, spec := range d.Specs {
+					switch s := spec.(type) {
+					case *ast.TypeSpec:
+						if s.Name.IsExported() && s.Doc == nil && s.Comment == nil {
+							report(s.Pos(), "type", s.Name.Name)
 						}
-						kind, name = "method", recv+"."+d.Name.Name
-					}
-					report(d.Pos(), kind, name)
-				case *ast.GenDecl:
-					if d.Doc != nil {
-						continue // the group comment documents every spec
-					}
-					for _, spec := range d.Specs {
-						switch s := spec.(type) {
-						case *ast.TypeSpec:
-							if s.Name.IsExported() && s.Doc == nil && s.Comment == nil {
-								report(s.Pos(), "type", s.Name.Name)
-							}
-						case *ast.ValueSpec:
-							if s.Doc != nil || s.Comment != nil {
-								continue
-							}
-							for _, n := range s.Names {
-								if n.IsExported() {
-									report(n.Pos(), kindOf(d.Tok), n.Name)
-								}
+					case *ast.ValueSpec:
+						if s.Doc != nil || s.Comment != nil {
+							continue
+						}
+						for _, n := range s.Names {
+							if n.IsExported() {
+								report(n.Pos(), kindOf(d.Tok), n.Name)
 							}
 						}
 					}
@@ -105,7 +92,6 @@ func check(dir string) ([]string, error) {
 			}
 		}
 	}
-	return missing, nil
 }
 
 // recvName extracts the receiver's type name, unwrapping pointers and

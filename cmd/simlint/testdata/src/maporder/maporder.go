@@ -1,0 +1,82 @@
+// Package maporderfix is a simlint test fixture for map-range-order:
+// each //want: line is a map range whose body leaks Go's randomized
+// iteration order into results; the unmarked ranges are the sanctioned
+// shapes (collect-then-sort, integer reduction, map writes, justified
+// suppression) and must stay clean.
+package maporderfix
+
+import "sort"
+
+type sample struct{ ID, Count int }
+
+// leakOrder feeds iteration order straight into an output slice — the
+// snapshot-building bug the analyzer exists to catch.
+func leakOrder(m map[int]int) []sample {
+	var out []sample
+	for k, v := range m { //want:map-range-order
+		out = append(out, sample{ID: k, Count: v})
+	}
+	return out
+}
+
+// floatSum rounds in iteration order: float += is not associative.
+func floatSum(m map[int]float64) float64 {
+	var s float64
+	for _, v := range m { //want:map-range-order
+		s += v
+	}
+	return s
+}
+
+// lazy suppresses without saying why — the suppression itself is the
+// finding, so every annotation documents its justification.
+func lazy(m map[int]int, sink func(int)) {
+	//simlint:ordered
+	for k := range m { //want:map-range-order
+		sink(k)
+	}
+}
+
+// collectThenSort is the sanctioned exposition shape: keys out, sort,
+// then walk in deterministic order.
+func collectThenSort(m map[int]int) []sample {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	out := make([]sample, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, sample{ID: k, Count: m[k]})
+	}
+	return out
+}
+
+// reduce is order-insensitive: integer accumulation and min/max folds
+// commute, so iteration order cannot reach the result.
+func reduce(m map[int]int) (n, sum, mx int) {
+	for _, v := range m {
+		n++
+		sum += v
+		mx = max(mx, v)
+	}
+	return
+}
+
+// invert only writes map keys — each iteration touches a distinct
+// entry, so order is immaterial.
+func invert(m map[int]string) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// drain is suppressed with a justification, which the analyzer accepts.
+func drain(m map[int]int, sink func(int)) {
+	//simlint:ordered sink dedupes internally; call order is immaterial
+	for k := range m {
+		sink(k)
+	}
+}

@@ -1,0 +1,22 @@
+package msgdispatchfix
+
+// coordinatorSend dispatches work — and one frame the worker's switch
+// below never learned about.
+func coordinatorSend(out chan<- frame) {
+	out <- frame{Type: msgJob}
+	out <- frame{Type: msgOrphan}
+}
+
+// coordinatorRecv is the coordinator's dispatch: the handshake compares
+// against msgHello (a comparison counts as dispatch), the read loop
+// switches on the rest.
+func coordinatorRecv(hello frame, f frame) bool {
+	if hello.Type != msgHello {
+		return false
+	}
+	switch f.Type {
+	case msgResult:
+		return true
+	}
+	return false
+}

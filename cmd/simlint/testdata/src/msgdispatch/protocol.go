@@ -1,0 +1,23 @@
+// Package msgdispatchfix is a simlint test fixture for msg-exhaustive:
+// a miniature two-sided frame protocol with one constant the receiving
+// side never dispatches (msgOrphan) and one that is declared but never
+// sent (msgGhost). Both must be findings; the other three constants
+// form a complete send/dispatch contract and must stay clean.
+package msgdispatchfix
+
+// msgType discriminates protocol frames.
+type msgType int
+
+const (
+	msgHello  msgType = iota + 1 // worker -> coordinator, handshake
+	msgJob                       // coordinator -> worker
+	msgResult                    // worker -> coordinator
+	msgOrphan msgType = 90       //want:msg-exhaustive
+	msgGhost  msgType = 91       //want:msg-exhaustive
+)
+
+// frame is the protocol envelope.
+type frame struct {
+	Type    msgType
+	Payload []byte
+}

@@ -1,0 +1,17 @@
+package msgdispatchfix
+
+// workerSend performs the handshake and streams results.
+func workerSend(out chan<- frame) {
+	out <- frame{Type: msgHello}
+	out <- frame{Type: msgResult}
+}
+
+// workerRecv is the worker's dispatch switch — it handles msgJob but
+// knows nothing of msgOrphan.
+func workerRecv(f frame) bool {
+	switch f.Type {
+	case msgJob:
+		return true
+	}
+	return false
+}

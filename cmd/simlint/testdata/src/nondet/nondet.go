@@ -1,0 +1,36 @@
+// Package nondetfix is a simlint test fixture: a stand-in for a
+// determinism-critical package that reads every class of forbidden
+// ambient input. Each //want: line must produce exactly one
+// nondet-source finding; the unmarked lines are the sanctioned seeded
+// path and must stay clean.
+package nondetfix
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+// ambient reads the wall clock and the environment — both forbidden.
+func ambient() (int64, string) {
+	t := time.Now().UnixNano()   //want:nondet-source
+	env := os.Getenv("SIM_SEED") //want:nondet-source
+	return t, env
+}
+
+// elapsed measures wall time — forbidden even when only differenced.
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start) //want:nondet-source
+}
+
+// globalDraw pulls from the process-wide rand source.
+func globalDraw() int {
+	return rand.Intn(10) //want:nondet-source
+}
+
+// seeded is the sanctioned path: a generator built from an explicit
+// seed, then drawn from via methods. No findings here.
+func seeded(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Float64()
+}

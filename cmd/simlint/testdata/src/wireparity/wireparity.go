@@ -1,0 +1,47 @@
+// Package wireparityfix is a simlint test fixture for wire-parity: a
+// miniature SessionConfig/wireSessionConfig pair with every class of
+// contract drift — a brand-new knob missing from the mirror, a field
+// whose mirrored type silently narrows, a gob-hostile field riding a
+// wholesale carrier, and a JSON schema with missing and mis-cased tags.
+package wireparityfix
+
+// Config stands in for SessionConfig. Seed mirrors structurally, Label
+// is declared handled (it travels as wireConfig.Name), Burst is the
+// drift the gate exists to catch, and Window's mirror reshapes the type.
+type Config struct {
+	Seed   int64
+	Label  string
+	Burst  int   //want:wire-parity
+	Window int32 //want:wire-parity
+}
+
+// wireConfig is Config's wire mirror — missing Burst, narrowing Window.
+type wireConfig struct {
+	Seed   int64
+	Name   string
+	Window int
+}
+
+// Snapshot rides wireBatch wholesale; the Err interface cannot travel
+// by gob, so the carrier does not excuse it.
+type Snapshot struct {
+	Cycle int64
+	Err   error //want:wire-parity
+}
+
+// wireBatch carries Snapshot wholesale.
+type wireBatch struct {
+	Snaps []Snapshot
+}
+
+// Spec stands in for the JSON job schema: every exported field needs an
+// explicit snake_case json tag.
+type Spec struct {
+	Design   string  `json:"design"`
+	NumNodes int     `json:"numNodes"` //want:wire-parity
+	Rate     float64 //want:wire-parity
+	Hidden   bool    `json:"-"`
+}
+
+// use silences unused-type vetting in the fixture package.
+var use = []any{Config{}, wireConfig{}, Snapshot{}, wireBatch{}, Spec{}}

@@ -1,0 +1,249 @@
+package main
+
+import (
+	"fmt"
+	"go/types"
+	"reflect"
+	"regexp"
+	"strings"
+
+	"repro/internal/lintutil"
+)
+
+// The wire-parity analyzer proves the serialization contract between the
+// public structs and their wire mirrors: every exported field of a
+// source struct must demonstrably survive transport. A field survives in
+// one of three ways — a same-named, identically-typed field in the
+// mirror; a wholesale carrier (a mirror field whose type is the source
+// struct, or a slice/pointer of it) provided the field is a type gob
+// encodes faithfully; or an explicit handling entry in the contract
+// (e.g. Result.Err, an interface, travels as wireResult.ErrMsg). Adding
+// a public knob without plumbing it over the wire is therefore a gate
+// failure, not a silent divergence on remote workers.
+
+// mirrorContract pairs one source struct with its wire mirror.
+type mirrorContract struct {
+	// pkg is the import path holding both types.
+	pkg string
+	// src and mirror name the struct types.
+	src, mirror string
+	// handled maps a source field that cannot travel structurally to the
+	// mirror fields that carry it explicitly (conversion code exists).
+	handled map[string][]string
+}
+
+// jsonSchemaContract names a struct whose exported fields form a public
+// JSON schema: every field must carry an explicit snake_case json tag,
+// so the HTTP surface never inherits accidental Go-cased names.
+type jsonSchemaContract struct {
+	pkg, typ string
+}
+
+// snakeCase matches the sanctioned JSON field-name shape.
+var snakeCase = regexp.MustCompile(`^[a-z][a-z0-9_]*$`)
+
+// checkWireParity verifies every mirror and schema contract. pkgs is
+// keyed by import path.
+func checkWireParity(pkgs map[string]*lintutil.Package, mirrors []mirrorContract, schemas []jsonSchemaContract, rep *lintutil.Report) (fields int) {
+	for _, c := range mirrors {
+		fields += checkMirror(pkgs, c, rep)
+	}
+	for _, c := range schemas {
+		fields += checkJSONSchema(pkgs, c, rep)
+	}
+	return fields
+}
+
+// lookupStruct resolves a named struct type in a loaded package. A
+// missing package or type is itself a finding — contract drift must
+// fail the gate loudly, never skip silently.
+func lookupStruct(pkgs map[string]*lintutil.Package, pkg, name string, rep *lintutil.Report) (*lintutil.Package, *types.Named, *types.Struct) {
+	p := pkgs[pkg]
+	if p == nil {
+		rep.AddNoPos("wire-parity", "contract names package %q, which was not loaded", pkg)
+		return nil, nil, nil
+	}
+	obj := p.Types.Scope().Lookup(name)
+	tn, ok := obj.(*types.TypeName)
+	if !ok {
+		rep.Add(p.Fset, p.Files[0].Pos(), "wire-parity",
+			"contract names type %s.%s, which does not exist — update the simlint contract alongside the code", pkg, name)
+		return nil, nil, nil
+	}
+	named, ok := tn.Type().(*types.Named)
+	if !ok {
+		rep.Add(p.Fset, tn.Pos(), "wire-parity", "%s is not a defined type", name)
+		return nil, nil, nil
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		rep.Add(p.Fset, tn.Pos(), "wire-parity", "%s is not a struct", name)
+		return nil, nil, nil
+	}
+	return p, named, st
+}
+
+// checkMirror verifies one source/mirror pair and returns the number of
+// exported source fields checked.
+func checkMirror(pkgs map[string]*lintutil.Package, c mirrorContract, rep *lintutil.Report) int {
+	p, srcNamed, srcT := lookupStruct(pkgs, c.pkg, c.src, rep)
+	if srcT == nil {
+		return 0
+	}
+	_, _, mirT := lookupStruct(pkgs, c.pkg, c.mirror, rep)
+	if mirT == nil {
+		return 0
+	}
+
+	mirrorByName := make(map[string]*types.Var)
+	carrier := false
+	for i := 0; i < mirT.NumFields(); i++ {
+		f := mirT.Field(i)
+		mirrorByName[f.Name()] = f
+		if carriesWholesale(f.Type(), srcNamed) {
+			carrier = true
+		}
+	}
+
+	checked := 0
+	for i := 0; i < srcT.NumFields(); i++ {
+		f := srcT.Field(i)
+		if !f.Exported() {
+			continue // unexported fields never travel; gob skips them by design
+		}
+		checked++
+		if dsts, ok := c.handled[f.Name()]; ok {
+			for _, d := range dsts {
+				if mirrorByName[d] == nil {
+					rep.Add(p.Fset, f.Pos(), "wire-parity",
+						"%s.%s is declared handled via %s.%s, but that mirror field does not exist", c.src, f.Name(), c.mirror, d)
+				}
+			}
+			continue
+		}
+		if mf := mirrorByName[f.Name()]; mf != nil {
+			if !types.Identical(mf.Type(), f.Type()) {
+				rep.Add(p.Fset, f.Pos(), "wire-parity",
+					"%s.%s is %s but its mirror %s.%s is %s — the wire form silently narrows/reshapes the value",
+					c.src, f.Name(), f.Type(), c.mirror, f.Name(), mf.Type())
+			}
+			continue
+		}
+		if carrier {
+			if bad := gobHostile(f.Type()); bad != "" {
+				rep.Add(p.Fset, f.Pos(), "wire-parity",
+					"%s.%s (%s) rides %s's wholesale %s carrier, but gob cannot encode %s — handle the field explicitly and list it in the simlint contract",
+					c.src, f.Name(), f.Type(), c.mirror, c.src, bad)
+			}
+			continue
+		}
+		rep.Add(p.Fset, f.Pos(), "wire-parity",
+			"exported field %s.%s has no counterpart in %s — a knob added here never reaches remote workers; mirror it (and plumb the conversion) or record explicit handling in the simlint contract",
+			c.src, f.Name(), c.mirror)
+	}
+	return checked
+}
+
+// carriesWholesale reports whether a mirror field of type t carries the
+// whole source struct: the struct itself, a pointer to it, or a slice of
+// it (wireSnapshotBatch.Snaps []TelemetrySnapshot).
+func carriesWholesale(t types.Type, src *types.Named) bool {
+	switch x := t.(type) {
+	case *types.Named:
+		return types.Identical(x, src)
+	case *types.Pointer:
+		return carriesWholesale(x.Elem(), src)
+	case *types.Slice:
+		return carriesWholesale(x.Elem(), src)
+	}
+	return false
+}
+
+// gobHostile walks a type and returns a description of the first
+// construct gob cannot carry faithfully (func, chan, interface —
+// interfaces need registration and explicit handling), or "" if the
+// type round-trips structurally. Unexported struct fields are skipped,
+// matching gob's own behavior.
+func gobHostile(t types.Type) string {
+	return gobWalk(t, make(map[types.Type]bool))
+}
+
+func gobWalk(t types.Type, seen map[types.Type]bool) string {
+	if seen[t] {
+		return ""
+	}
+	seen[t] = true
+	switch x := t.(type) {
+	case *types.Basic:
+		if x.Kind() == types.UnsafePointer || x.Kind() == types.Uintptr {
+			return fmt.Sprintf("%s", x)
+		}
+		return ""
+	case *types.Named:
+		return gobWalk(x.Underlying(), seen)
+	case *types.Alias:
+		return gobWalk(types.Unalias(x), seen)
+	case *types.Pointer:
+		return gobWalk(x.Elem(), seen)
+	case *types.Slice:
+		return gobWalk(x.Elem(), seen)
+	case *types.Array:
+		return gobWalk(x.Elem(), seen)
+	case *types.Map:
+		if bad := gobWalk(x.Key(), seen); bad != "" {
+			return bad
+		}
+		return gobWalk(x.Elem(), seen)
+	case *types.Struct:
+		for i := 0; i < x.NumFields(); i++ {
+			f := x.Field(i)
+			if !f.Exported() {
+				continue
+			}
+			if bad := gobWalk(f.Type(), seen); bad != "" {
+				return bad
+			}
+		}
+		return ""
+	case *types.Interface:
+		return fmt.Sprintf("interface type %s", t)
+	case *types.Signature:
+		return fmt.Sprintf("func type %s", t)
+	case *types.Chan:
+		return fmt.Sprintf("chan type %s", t)
+	default:
+		return fmt.Sprintf("unsupported type %s", t)
+	}
+}
+
+// checkJSONSchema verifies one JSON-schema struct and returns the number
+// of exported fields checked.
+func checkJSONSchema(pkgs map[string]*lintutil.Package, c jsonSchemaContract, rep *lintutil.Report) int {
+	p, _, st := lookupStruct(pkgs, c.pkg, c.typ, rep)
+	if st == nil {
+		return 0
+	}
+	checked := 0
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if !f.Exported() {
+			continue
+		}
+		checked++
+		tag, ok := reflect.StructTag(st.Tag(i)).Lookup("json")
+		if !ok {
+			rep.Add(p.Fset, f.Pos(), "wire-parity",
+				"%s.%s has no json tag — the HTTP schema must name every field explicitly (snake_case), or exclude it with `json:\"-\"`", c.typ, f.Name())
+			continue
+		}
+		name := strings.Split(tag, ",")[0]
+		if name == "-" {
+			continue // explicitly excluded from the schema
+		}
+		if !snakeCase.MatchString(name) {
+			rep.Add(p.Fset, f.Pos(), "wire-parity",
+				"%s.%s json name %q is not snake_case — the HTTP schema's field names are a compatibility surface", c.typ, f.Name(), name)
+		}
+	}
+	return checked
+}

@@ -1,0 +1,15 @@
+// Package lintutil is the shared loading and reporting core of the
+// repository's static-analysis gates (cmd/doccheck, cmd/allocheck,
+// cmd/simlint). It resolves and parses package directories exactly one
+// way — so every gate sees the same file set under the same build
+// constraints — and renders findings in the common
+// "file:line: analyzer: message" shape CI greps for.
+//
+// Two loading modes cover the gates' needs without any external module
+// dependency. ParseOnly parses a directory's non-test sources with
+// comments (enough for syntax-level gates like doccheck). Typed
+// additionally type-checks the packages with go/types, resolving imports
+// through compiler export data obtained from one `go list -export -deps`
+// invocation — the standard toolchain's own view of the build, which
+// works offline and under the build cache.
+package lintutil

@@ -1,0 +1,120 @@
+package lintutil
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+func TestParseOnlyLoadsOwnPackage(t *testing.T) {
+	pkgs, err := Load(ParseOnly, ".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(pkgs))
+	}
+	p := pkgs[0]
+	if p.Name != "lintutil" {
+		t.Fatalf("package name = %q, want lintutil", p.Name)
+	}
+	if len(p.Files) < 3 {
+		t.Fatalf("parsed %d files, want at least doc.go/load.go/report.go", len(p.Files))
+	}
+	for _, f := range p.Files {
+		if strings.HasSuffix(p.Filename(f.Pos()), "_test.go") {
+			t.Fatalf("test file %s parsed; ParseOnly must skip tests", p.Filename(f.Pos()))
+		}
+	}
+	if p.Types != nil || p.Info != nil {
+		t.Fatal("ParseOnly attached type information")
+	}
+}
+
+func TestTypedLoadResolvesCrossPackageTypes(t *testing.T) {
+	// Load a leaf package and one that imports other repo packages, in a
+	// single call: both must type-check against export data, and their
+	// ASTs must carry Uses entries resolving to the right objects.
+	pkgs, err := Load(Typed, "../stats", "../netsim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 2 {
+		t.Fatalf("got %d packages, want 2", len(pkgs))
+	}
+	stats, netsim := pkgs[0], pkgs[1]
+	if stats.ImportPath != "repro/internal/stats" || netsim.ImportPath != "repro/internal/netsim" {
+		t.Fatalf("import paths = %q, %q", stats.ImportPath, netsim.ImportPath)
+	}
+	if stats.Types.Scope().Lookup("Histogram") == nil {
+		t.Fatal("stats.Histogram not in package scope")
+	}
+	// netsim imports repro/internal/stats; the type-checker must have
+	// resolved that import through export data.
+	found := false
+	for _, imp := range netsim.Types.Imports() {
+		if imp.Path() == "repro/internal/stats" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("netsim's stats import was not resolved")
+	}
+	// Every parsed file must contribute identifier resolutions.
+	uses := 0
+	for _, f := range netsim.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				if _, ok := netsim.Info.Uses[id]; ok {
+					uses++
+				}
+			}
+			return true
+		})
+	}
+	if uses == 0 {
+		t.Fatal("no identifier uses recorded")
+	}
+}
+
+func TestTypedLoadSeesBasicTypes(t *testing.T) {
+	pkgs, err := Load(Typed, "../stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj := pkgs[0].Types.Scope().Lookup("Histogram")
+	tn, ok := obj.(*types.TypeName)
+	if !ok {
+		t.Fatalf("Histogram is %T, want *types.TypeName", obj)
+	}
+	if _, ok := tn.Type().Underlying().(*types.Struct); !ok {
+		t.Fatalf("Histogram underlying is %T, want struct", tn.Type().Underlying())
+	}
+}
+
+func TestReportSortsAndFormats(t *testing.T) {
+	pkgs, err := Load(ParseOnly, ".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := pkgs[0]
+	var rep Report
+	// Record in reverse file order; Findings must come back sorted.
+	for i := len(p.Files) - 1; i >= 0; i-- {
+		rep.Add(p.Fset, p.Files[i].Pos(), "test-analyzer", "file %d", i)
+	}
+	fs := rep.Findings()
+	if len(fs) != len(p.Files) {
+		t.Fatalf("got %d findings, want %d", len(fs), len(p.Files))
+	}
+	for i := 1; i < len(fs); i++ {
+		if fs[i-1].Position.Filename > fs[i].Position.Filename {
+			t.Fatalf("findings unsorted: %s after %s", fs[i-1].Position.Filename, fs[i].Position.Filename)
+		}
+	}
+	line := fs[0].String()
+	if !strings.Contains(line, "test-analyzer:") || !strings.Contains(line, ".go:") {
+		t.Fatalf("finding format = %q, want file:line: analyzer: message", line)
+	}
+}

@@ -1,0 +1,215 @@
+package lintutil
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Mode selects how much of a package Load resolves.
+type Mode int
+
+const (
+	// ParseOnly parses a directory's non-test sources (with comments)
+	// and attaches no type information.
+	ParseOnly Mode = iota
+	// Typed parses the files `go list` selects for the package and
+	// type-checks them against compiler export data, populating
+	// Package.Types and Package.Info.
+	Typed
+)
+
+// Package is one loaded package: its syntax trees and, in Typed mode,
+// its type information. All packages from one Load call share Fset.
+type Package struct {
+	// Dir is the package directory as passed to Load (cleaned).
+	Dir string
+	// ImportPath is the package's import path (Typed mode; in ParseOnly
+	// mode it is the directory).
+	ImportPath string
+	// Name is the package name from the package clauses.
+	Name string
+	// Fset maps AST positions back to file/line.
+	Fset *token.FileSet
+	// Files are the parsed source files, in file-name order.
+	Files []*ast.File
+	// Types and Info carry go/types results (Typed mode only).
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Filename returns the base name of the file containing pos.
+func (p *Package) Filename(pos token.Pos) string {
+	return filepath.Base(p.Fset.Position(pos).Filename)
+}
+
+// Load resolves each directory into its package(s). ParseOnly may return
+// several packages for one directory (one per package clause, e.g. a
+// main package next to an external test package); Typed returns exactly
+// one per directory, and fails if any package fails to compile — a
+// linter cannot reason about code the compiler rejects.
+func Load(mode Mode, dirs ...string) ([]*Package, error) {
+	if len(dirs) == 0 {
+		return nil, fmt.Errorf("lintutil: no package directories given")
+	}
+	fset := token.NewFileSet()
+	if mode == ParseOnly {
+		return parseDirs(fset, dirs)
+	}
+	return loadTyped(fset, dirs)
+}
+
+// parseDirs is the syntax-only loader: every non-test .go file in each
+// directory, grouped by package clause, comments attached.
+func parseDirs(fset *token.FileSet, dirs []string) ([]*Package, error) {
+	var out []*Package
+	for _, dir := range dirs {
+		dir = filepath.Clean(dir)
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			return nil, fmt.Errorf("lintutil: %w", err)
+		}
+		byName := make(map[string]*Package)
+		var names []string
+		for _, e := range entries {
+			name := e.Name()
+			if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+				continue
+			}
+			file, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, fmt.Errorf("lintutil: %w", err)
+			}
+			pkgName := file.Name.Name
+			p := byName[pkgName]
+			if p == nil {
+				p = &Package{Dir: dir, ImportPath: dir, Name: pkgName, Fset: fset}
+				byName[pkgName] = p
+				names = append(names, pkgName)
+			}
+			p.Files = append(p.Files, file)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			out = append(out, byName[n])
+		}
+	}
+	return out, nil
+}
+
+// listedPackage is the slice of `go list -json` output the typed loader
+// consumes.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	Export     string
+	GoFiles    []string
+}
+
+// loadTyped resolves, parses and type-checks the directories. One
+// `go list -export -deps` invocation supplies both the build-constraint-
+// filtered file lists of the target packages and compiler export data
+// for every dependency (standard library included), which the gc
+// importer then reads — the exact package-resolution behavior of a real
+// build, with no duplicate parsing of the dependency graph.
+func loadTyped(fset *token.FileSet, dirs []string) ([]*Package, error) {
+	patterns := make([]string, len(dirs))
+	for i, d := range dirs {
+		patterns[i] = dirPattern(d)
+	}
+	args := append([]string{"list", "-export", "-deps", "-json=ImportPath,Dir,Name,Export,GoFiles"}, patterns...)
+	cmd := exec.Command("go", args...)
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("lintutil: go list: %v\n%s", err, stderr.String())
+	}
+
+	exports := make(map[string]string) // import path -> export data file
+	byDir := make(map[string]*listedPackage)
+	dec := json.NewDecoder(&stdout)
+	for {
+		var lp listedPackage
+		if err := dec.Decode(&lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("lintutil: decode go list output: %w", err)
+		}
+		if lp.Export != "" {
+			exports[lp.ImportPath] = lp.Export
+		}
+		p := lp
+		byDir[filepath.Clean(lp.Dir)] = &p
+	}
+
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("lintutil: no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+
+	var out []*Package
+	for _, dir := range dirs {
+		abs, err := filepath.Abs(dir)
+		if err != nil {
+			return nil, fmt.Errorf("lintutil: %w", err)
+		}
+		lp := byDir[abs]
+		if lp == nil {
+			return nil, fmt.Errorf("lintutil: go list resolved no package for directory %s", dir)
+		}
+		files := make([]*ast.File, 0, len(lp.GoFiles))
+		for _, name := range lp.GoFiles {
+			file, err := parser.ParseFile(fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, fmt.Errorf("lintutil: %w", err)
+			}
+			files = append(files, file)
+		}
+		info := &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		}
+		conf := types.Config{Importer: imp}
+		tpkg, err := conf.Check(lp.ImportPath, fset, files, info)
+		if err != nil {
+			return nil, fmt.Errorf("lintutil: type-check %s: %w", lp.ImportPath, err)
+		}
+		out = append(out, &Package{
+			Dir:        filepath.Clean(dir),
+			ImportPath: lp.ImportPath,
+			Name:       lp.Name,
+			Fset:       fset,
+			Files:      files,
+			Types:      tpkg,
+			Info:       info,
+		})
+	}
+	return out, nil
+}
+
+// dirPattern shapes a directory argument into the relative-path pattern
+// form `go list` requires ("internal/netsim" -> "./internal/netsim").
+func dirPattern(dir string) string {
+	if filepath.IsAbs(dir) || strings.HasPrefix(dir, ".") {
+		return dir
+	}
+	return "./" + filepath.ToSlash(filepath.Clean(dir))
+}

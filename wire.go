@@ -134,6 +134,75 @@ func (wp wirePoint) point() (Point, error) {
 	return Point{}, fmt.Errorf("stringfigure: unknown wire workload kind %q", wp.Kind)
 }
 
+// wireSessionConfig is SessionConfig in serializable form: an explicit
+// field-for-field mirror rather than the struct itself, so that adding a
+// public knob without plumbing it over the wire is a visible gap here —
+// the simlint wire-parity gate diffs the two structs and fails the build
+// until the new field appears in the mirror and in both conversions.
+// The unexported onTelemetry sink deliberately has no counterpart: sinks
+// cannot travel, wireJob.Telemetry stands in for them.
+type wireSessionConfig struct {
+	Rate              float64
+	Warmup, Measure   int64
+	PacketFlits       int
+	AdaptiveThreshold float64
+	Seed              int64
+	Ops               int
+	Sockets           int
+	Window            int
+	Threads           int
+	MaxCycles         int64
+	TelemetryEvery    int64
+	FlowBuckets       int
+	TraceSampleEvery  int64
+	Gates             []GateEvent
+	ReferenceCore     bool
+}
+
+// cfgToWire converts a session config for transport.
+func cfgToWire(c SessionConfig) wireSessionConfig {
+	return wireSessionConfig{
+		Rate:              c.Rate,
+		Warmup:            c.Warmup,
+		Measure:           c.Measure,
+		PacketFlits:       c.PacketFlits,
+		AdaptiveThreshold: c.AdaptiveThreshold,
+		Seed:              c.Seed,
+		Ops:               c.Ops,
+		Sockets:           c.Sockets,
+		Window:            c.Window,
+		Threads:           c.Threads,
+		MaxCycles:         c.MaxCycles,
+		TelemetryEvery:    c.TelemetryEvery,
+		FlowBuckets:       c.FlowBuckets,
+		TraceSampleEvery:  c.TraceSampleEvery,
+		Gates:             c.Gates,
+		ReferenceCore:     c.ReferenceCore,
+	}
+}
+
+// cfg reconstructs the session config on the worker.
+func (w wireSessionConfig) cfg() SessionConfig {
+	return SessionConfig{
+		Rate:              w.Rate,
+		Warmup:            w.Warmup,
+		Measure:           w.Measure,
+		PacketFlits:       w.PacketFlits,
+		AdaptiveThreshold: w.AdaptiveThreshold,
+		Seed:              w.Seed,
+		Ops:               w.Ops,
+		Sockets:           w.Sockets,
+		Window:            w.Window,
+		Threads:           w.Threads,
+		MaxCycles:         w.MaxCycles,
+		TelemetryEvery:    w.TelemetryEvery,
+		FlowBuckets:       w.FlowBuckets,
+		TraceSampleEvery:  w.TraceSampleEvery,
+		Gates:             w.Gates,
+		ReferenceCore:     w.ReferenceCore,
+	}
+}
+
 // wireJob is one dispatched sweep point: the network to rebuild, the
 // sweep's base session config, and the point with its global index (the
 // PointSeed input, so remote seeds match the in-process pool exactly).
@@ -143,7 +212,7 @@ func (wp wirePoint) point() (Point, error) {
 // which is determinism-neutral: Results are bit-identical either way).
 type wireJob struct {
 	Spec      networkSpec
-	Cfg       SessionConfig
+	Cfg       wireSessionConfig
 	Index     int
 	Point     wirePoint
 	Telemetry bool

@@ -1,0 +1,174 @@
+package stringfigure
+
+// Reflection-based wire round-trip audit: every exported field of the
+// structs that travel to remote workers is filled with a distinctive
+// non-zero value, pushed through the real conversion + gob codec path,
+// and must come back non-zero and equal. Unlike the hand-written codec
+// tests, this one discovers fields — add a knob to SessionConfig and
+// forget the cfgToWire plumbing, and the field comes back zeroed here
+// even if the simlint mirror was updated.
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// fillValue writes a distinctive non-zero value into v, recursing
+// through structs, slices, maps and pointers. The counter makes every
+// leaf unique, so two fields swapped in a conversion cannot cancel out.
+// Interface fields other than error and func fields are left for the
+// caller (they cannot be constructed generically).
+func fillValue(v reflect.Value, c *int) {
+	switch v.Kind() {
+	case reflect.Bool:
+		v.SetBool(true)
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		*c++
+		v.SetInt(int64(*c))
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		*c++
+		v.SetUint(uint64(*c))
+	case reflect.Float32, reflect.Float64:
+		*c++
+		v.SetFloat(float64(*c) + 0.5)
+	case reflect.String:
+		*c++
+		v.SetString(fmt.Sprintf("fill-%d", *c))
+	case reflect.Slice:
+		s := reflect.MakeSlice(v.Type(), 2, 2)
+		for i := 0; i < s.Len(); i++ {
+			fillValue(s.Index(i), c)
+		}
+		v.Set(s)
+	case reflect.Map:
+		m := reflect.MakeMap(v.Type())
+		k := reflect.New(v.Type().Key()).Elem()
+		e := reflect.New(v.Type().Elem()).Elem()
+		fillValue(k, c)
+		fillValue(e, c)
+		m.SetMapIndex(k, e)
+		v.Set(m)
+	case reflect.Pointer:
+		v.Set(reflect.New(v.Type().Elem()))
+		fillValue(v.Elem(), c)
+	case reflect.Struct:
+		for i := 0; i < v.NumField(); i++ {
+			if f := v.Field(i); f.CanSet() {
+				fillValue(f, c)
+			}
+		}
+	case reflect.Interface:
+		if v.Type() == reflect.TypeOf((*error)(nil)).Elem() {
+			*c++
+			v.Set(reflect.ValueOf(errors.New(fmt.Sprintf("fill-err-%d", *c))))
+		}
+	}
+}
+
+// requireNoZeroedFields fails for every exported zero field of a struct,
+// naming it — the signature of a conversion that dropped the field.
+func requireNoZeroedFields(t *testing.T, label string, v reflect.Value) {
+	t.Helper()
+	for i := 0; i < v.NumField(); i++ {
+		f := v.Type().Field(i)
+		if !f.IsExported() {
+			continue
+		}
+		if v.Field(i).IsZero() {
+			t.Errorf("%s.%s came back zeroed — the wire conversion drops it", label, f.Name)
+		}
+	}
+}
+
+func TestWireRoundTripByReflection(t *testing.T) {
+	t.Run("SessionConfig", func(t *testing.T) {
+		var cfg SessionConfig
+		c := 0
+		fillValue(reflect.ValueOf(&cfg).Elem(), &c)
+		b, err := encodeWire(cfgToWire(cfg))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wc wireSessionConfig
+		if err := decodeWire(b, &wc); err != nil {
+			t.Fatal(err)
+		}
+		got := wc.cfg()
+		requireNoZeroedFields(t, "SessionConfig", reflect.ValueOf(got))
+		if !reflect.DeepEqual(got, cfg) {
+			t.Errorf("SessionConfig round-trip:\ngot  %+v\nwant %+v", got, cfg)
+		}
+	})
+
+	t.Run("Point", func(t *testing.T) {
+		var p Point
+		var w SyntheticWorkload
+		c := 0
+		fillValue(reflect.ValueOf(&p).Elem(), &c)
+		fillValue(reflect.ValueOf(&w).Elem(), &c)
+		p.Workload = w
+		wp, ok := pointToWire(p)
+		if !ok {
+			t.Fatal("filled Point not serializable")
+		}
+		b, err := encodeWire(wp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back wirePoint
+		if err := decodeWire(b, &back); err != nil {
+			t.Fatal(err)
+		}
+		got, err := back.point()
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireNoZeroedFields(t, "Point", reflect.ValueOf(got))
+		if !reflect.DeepEqual(got, p) {
+			t.Errorf("Point round-trip:\ngot  %+v\nwant %+v", got, p)
+		}
+	})
+
+	t.Run("Result", func(t *testing.T) {
+		var res Result
+		c := 0
+		fillValue(reflect.ValueOf(&res).Elem(), &c)
+		b, err := encodeWire(resultToWire(res))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wr wireResult
+		if err := decodeWire(b, &wr); err != nil {
+			t.Fatal(err)
+		}
+		got := wr.result()
+		requireNoZeroedFields(t, "Result", reflect.ValueOf(got))
+		if !reflect.DeepEqual(got, res) {
+			t.Errorf("Result round-trip:\ngot  %+v\nwant %+v", got, res)
+		}
+	})
+
+	t.Run("TelemetrySnapshot", func(t *testing.T) {
+		var snap TelemetrySnapshot
+		c := 0
+		fillValue(reflect.ValueOf(&snap).Elem(), &c)
+		b, err := encodeWire(wireSnapshotBatch{Snaps: []TelemetrySnapshot{snap}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var batch wireSnapshotBatch
+		if err := decodeWire(b, &batch); err != nil {
+			t.Fatal(err)
+		}
+		if len(batch.Snaps) != 1 {
+			t.Fatalf("batch came back with %d snapshots, want 1", len(batch.Snaps))
+		}
+		got := batch.Snaps[0]
+		requireNoZeroedFields(t, "TelemetrySnapshot", reflect.ValueOf(got))
+		if !reflect.DeepEqual(got, snap) {
+			t.Errorf("TelemetrySnapshot round-trip:\ngot  %+v\nwant %+v", got, snap)
+		}
+	})
+}

@@ -18,7 +18,7 @@ func TestWireSessionConfigRoundTrip(t *testing.T) {
 		AdaptiveThreshold: 0.62, Seed: -991,
 		Ops: 777, Sockets: 3, Window: 9, Threads: 5, MaxCycles: 123456789,
 	}
-	job := wireJob{Cfg: cfg, Index: 41,
+	job := wireJob{Cfg: cfgToWire(cfg), Index: 41,
 		Spec:  networkSpec{Design: "sf", Nodes: 64, Ports: 4, Seed: 7},
 		Point: wirePoint{Kind: wireSynthetic, Name: "uniform", Rate: 0.37}}
 	b, err := encodeWire(job)
@@ -31,6 +31,9 @@ func TestWireSessionConfigRoundTrip(t *testing.T) {
 	}
 	if !reflect.DeepEqual(got, job) {
 		t.Errorf("wireJob round-trip:\ngot  %+v\nwant %+v", got, job)
+	}
+	if back := got.Cfg.cfg(); !reflect.DeepEqual(back, cfg) {
+		t.Errorf("SessionConfig through the mirror:\ngot  %+v\nwant %+v", back, cfg)
 	}
 }
 
