@@ -448,6 +448,53 @@ func BenchmarkNetsimStepFlow(b *testing.B) {
 	})
 }
 
+// BenchmarkNetsimStepScenario is the N=64 mid-load grid point with a rate
+// schedule armed: every 1024 cycles the injection rate re-sets, alternating
+// ±25% around the grid rate — the way a compiled diurnal or bursty scenario
+// drives the core between Run slices. SetRate only restarts the geometric
+// skip-sampling trial, so the scheduled path must hold the same 0 allocs/op
+// ceiling as the unscheduled core; the cycles/s delta against
+// NetsimStep/N64_mid is the cost of arming a scenario at all.
+func BenchmarkNetsimStepScenario(b *testing.B) {
+	b.Run("N64_mid", func(b *testing.B) {
+		const n, rate = 64, 0.01
+		sf, err := topology.NewStringFigure(topology.Config{N: n, Ports: 4, Seed: 1, Shortcuts: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		sim, err := netsim.New(netsim.SFConfig(sf, 1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		pat, err := traffic.NewPattern("uniform", n)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sim.SetPattern(rate, pat)
+		sim.Run(3000)
+		if sim.Results().Deadlocked {
+			b.Fatal("deadlocked during warmup")
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if i%1024 == 0 {
+				if i%2048 == 0 {
+					sim.SetRate(rate * 0.75)
+				} else {
+					sim.SetRate(rate * 1.25)
+				}
+			}
+			sim.Run(1)
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "cycles/s")
+		if sim.Results().Deadlocked {
+			b.Fatal("deadlocked during measurement")
+		}
+	})
+}
+
 // BenchmarkNetsimStepRef runs the same N=1024 low-load point on the
 // reference full-scan core: the ratio of NetsimStep/N1024_low to this
 // number is the event-scheduling speedup (same injection scheme, same

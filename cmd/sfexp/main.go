@@ -13,9 +13,11 @@
 // interval — carrying per-src/dst flow buckets (-flow-buckets) and
 // per-link utilization deltas — one {"type":"trace",...} record per
 // sampled packet-lifecycle event (-trace-every picks the deterministic
-// 1-in-K sampling), and — when -listen is active — one
-// {"type":"progress",...} record per worker per second while sweeps
-// drain.
+// 1-in-K sampling), one {"type":"scenario",...} record per applied
+// scenario action when -scenario attaches a schedule (a JSON
+// ScenarioSpec array) to the sweep's points, and — when -listen is
+// active — one {"type":"progress",...} record per worker per second
+// while sweeps drain.
 //
 // With -metrics ADDR, the same interval stream feeds a Prometheus-text
 // /metrics endpoint (scrape http://ADDR/metrics); combined with -listen
@@ -73,14 +75,17 @@ func (w *telemetryWriter) encode(rec any) {
 }
 
 // interval writes one snapshot record; it is the WithTelemetry sink, called
-// from every sweep worker concurrently. Sampled packet-lifecycle events ride
-// the snapshot in; they are split out as their own {"type":"trace",...}
-// lines so each NDJSON record stays one event at one grain.
+// from every sweep worker concurrently. Sampled packet-lifecycle events and
+// applied scenario actions ride the snapshot in; they are split out as their
+// own {"type":"trace",...} and {"type":"scenario",...} lines so each NDJSON
+// record stays one event at one grain.
 func (w *telemetryWriter) interval(s stringfigure.TelemetrySnapshot) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	trace := s.Trace
 	s.Trace = nil
+	scen := s.Scenario
+	s.Scenario = nil
 	w.encode(struct {
 		Type string `json:"type"`
 		stringfigure.TelemetrySnapshot
@@ -90,6 +95,12 @@ func (w *telemetryWriter) interval(s stringfigure.TelemetrySnapshot) {
 			Type string `json:"type"`
 			stringfigure.PacketTraceEvent
 		}{Type: "trace", PacketTraceEvent: ev})
+	}
+	for _, ev := range scen {
+		w.encode(struct {
+			Type string `json:"type"`
+			stringfigure.ScenarioEvent
+		}{Type: "scenario", ScenarioEvent: ev})
 	}
 }
 
@@ -135,11 +146,20 @@ func main() {
 		telemetry   = flag.String("telemetry", "", "stream live NDJSON telemetry (interval snapshots, sampled packet traces; with -listen also per-worker progress) to this file")
 		flowBuckets = flag.Int("flow-buckets", 4, "with -telemetry/-metrics: src/dst bucket count for per-flow latency attribution (0 disables flow accounting)")
 		traceEvery  = flag.Int64("trace-every", 16, "with -telemetry: sample every Kth packet's lifecycle as trace records (0 disables tracing)")
+		scenarioJS  = flag.String("scenario", "", `attach a scenario schedule to the -exp sweep points: a JSON ScenarioSpec array, e.g. '[{"kind":"storm","start":1000,"center":4,"radius":2,"recover":5000}]'`)
 		metricsAt   = flag.String("metrics", "", "serve a Prometheus-text /metrics endpoint on this address (host:port) fed by the public-API sweeps; with -listen it also exports per-worker cluster liveness")
 		cpuprof     = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (inspect with `go tool pprof`)")
 		memprof     = flag.String("memprofile", "", "write a heap profile (after a final GC) to this file on exit")
 	)
 	flag.Parse()
+
+	var scenario []stringfigure.ScenarioSpec
+	if *scenarioJS != "" {
+		if err := json.Unmarshal([]byte(*scenarioJS), &scenario); err != nil {
+			fmt.Fprintf(os.Stderr, "sfexp: -scenario: %v\n", err)
+			os.Exit(1)
+		}
+	}
 
 	if *cpuprof != "" {
 		f, err := os.Create(*cpuprof)
@@ -392,7 +412,7 @@ func main() {
 			return err
 		}
 		rates := []float64{0.05, 0.10, 0.15, 0.20, 0.25, 0.30, 0.40, 0.50}
-		cfg := stringfigure.SessionConfig{Warmup: sc.Warmup, Measure: sc.Measure, Seed: *seed}
+		cfg := stringfigure.SessionConfig{Warmup: sc.Warmup, Measure: sc.Measure, Seed: *seed, Scenario: scenario}
 		if tw != nil || ms != nil {
 			// Several interval records per point, even at -quick budgets.
 			every := (sc.Warmup + sc.Measure) / 8

@@ -69,6 +69,7 @@ func realConfig() gateConfig {
 			{dir: "internal/topology", nondet: true, maporder: true},
 			{dir: "internal/stats", nondet: true, maporder: true},
 			{dir: "internal/trace", nondet: true, maporder: true},
+			{dir: "internal/scenario", nondet: true, maporder: true},
 			{dir: "internal/dist"},
 		},
 		mirrors: []mirrorContract{
@@ -81,6 +82,9 @@ func realConfig() gateConfig {
 		},
 		schemas: []jsonSchemaContract{
 			{pkg: "repro", typ: "JobSpec"},
+			{pkg: "repro", typ: "ScenarioSpec"},
+			{pkg: "repro", typ: "GateEvent"},
+			{pkg: "repro", typ: "ScenarioEvent"},
 		},
 		dispatch: []dispatchContract{
 			{

@@ -3,6 +3,7 @@ package stringfigure
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"testing"
 )
 
@@ -189,6 +190,162 @@ func TestCrossCoreSweepAndSaturation(t *testing.T) {
 				return rate
 			}, base)
 		})
+	}
+}
+
+// TestCrossCoreScenarioMatrix is the determinism-torture matrix: every
+// scenario family against every design, byte-diffed between the two cores
+// where the combination is legal and pinned to its sentinel error where it
+// is not. Gate scenarios (churn, storm) run only on the reconfigurable
+// String Figure design — the baselines reject with ErrNotReconfigurable —
+// the S2 regeneration baseline runs only on s2 (ErrScenario elsewhere),
+// and rate modulation runs everywhere. Legal runs must also actually
+// apply events: a schedule that compiles to nothing fails the test.
+func TestCrossCoreScenarioMatrix(t *testing.T) {
+	gateOnly := func(d string) error {
+		if d == "sf" {
+			return nil
+		}
+		return ErrNotReconfigurable
+	}
+	s2Only := func(d string) error {
+		if d == "s2" {
+			return nil
+		}
+		return ErrScenario
+	}
+	anyDesign := func(string) error { return nil }
+	cases := []struct {
+		name            string
+		spec            ScenarioSpec
+		warmup, measure int64
+		wantErr         func(design string) error
+	}{
+		{"churn", Churn(31250, 2), 500, 70_000, gateOnly},
+		{"storm", FailureStorm(3000, 4, 2, 31250), 500, 40_000, gateOnly},
+		{"diurnal", DiurnalRate(800, 0.5), 400, 1600, anyDesign},
+		{"regen", RegenerateS2(1000, 4, 500), 400, 1600, s2Only},
+	}
+	for _, tc := range cases {
+		for _, d := range Designs() {
+			t.Run(tc.name+"/"+d, func(t *testing.T) {
+				net := mustNet(t, d, 16)
+				base := SessionConfig{Rate: 0.05, Warmup: tc.warmup, Measure: tc.measure,
+					Seed: 7, Scenario: []ScenarioSpec{tc.spec}}
+				if want := tc.wantErr(d); want != nil {
+					_, err := net.NewSession(base).Run(SyntheticWorkload{Pattern: "uniform"})
+					if !errors.Is(err, want) {
+						t.Fatalf("%s on %s: err = %v, want %v", tc.name, d, err, want)
+					}
+					return
+				}
+				applied := 0
+				coreDiff(t, tc.name+"/"+d, func(cfg SessionConfig) any {
+					var snaps []TelemetrySnapshot
+					cfg = cfg.WithTelemetry(256, func(s TelemetrySnapshot) {
+						snaps = append(snaps, s)
+						applied += len(s.Scenario)
+					})
+					res, err := net.NewSession(cfg).Run(SyntheticWorkload{Pattern: "uniform"})
+					if err != nil {
+						t.Fatal(err)
+					}
+					return sessionOutput{Result: res, Snaps: snaps}
+				}, base)
+				if applied == 0 {
+					t.Errorf("%s on %s: schedule applied no events", tc.name, d)
+				}
+			})
+		}
+	}
+}
+
+// TestScenarioTelemetryOnOffIdentity pins the scenario half of the
+// observability contract: the recorder that stamps applied scenario events
+// onto telemetry snapshots reads state the executors already produced and
+// never feeds back, so a scenario run with telemetry attached produces a
+// Result byte-identical to the same run without it — on both cores, for a
+// gate scenario (storm on sf) and a rate scenario on a baseline design.
+func TestScenarioTelemetryOnOffIdentity(t *testing.T) {
+	cases := []struct {
+		design          string
+		spec            ScenarioSpec
+		warmup, measure int64
+	}{
+		{"sf", FailureStorm(3000, 4, 2, 31250), 500, 40_000},
+		{"dm", DiurnalRate(800, 0.5), 400, 1600},
+	}
+	for _, tc := range cases {
+		t.Run(tc.design+"/"+tc.spec.Kind, func(t *testing.T) {
+			net := mustNet(t, tc.design, 16)
+			for _, ref := range []bool{false, true} {
+				run := func(telemetry bool) ([]byte, int) {
+					cfg := SessionConfig{Rate: 0.05, Warmup: tc.warmup, Measure: tc.measure,
+						Seed: 7, ReferenceCore: ref, Scenario: []ScenarioSpec{tc.spec}}
+					applied := 0
+					if telemetry {
+						cfg = cfg.WithTelemetry(500, func(s TelemetrySnapshot) {
+							applied += len(s.Scenario)
+						})
+					}
+					res, err := net.NewSession(cfg).Run(SyntheticWorkload{Pattern: "uniform"})
+					if err != nil {
+						t.Fatal(err)
+					}
+					b, err := json.Marshal(res)
+					if err != nil {
+						t.Fatal(err)
+					}
+					return b, applied
+				}
+				on, applied := run(true)
+				off, _ := run(false)
+				if !bytes.Equal(on, off) {
+					t.Errorf("%s ref=%v: scenario telemetry perturbs the result\non:  %s\noff: %s",
+						tc.design, ref, clip(on), clip(off))
+				}
+				if applied == 0 {
+					t.Errorf("%s ref=%v: no scenario events on the telemetry stream", tc.design, ref)
+				}
+			}
+		})
+	}
+}
+
+// TestCrossCoreTraceScenario byte-diffs a closed-loop trace run under a
+// gate scenario between the two cores: pages and sockets place on the
+// nodes that stay powered, the gated quadrant's crossing traffic reroutes
+// mid-replay, and the whole transient must be bit-identical
+// event-vs-reference. Rate scenarios have no closed-loop meaning, so the
+// same config with a diurnal spec must reject with ErrScenario.
+func TestCrossCoreTraceScenario(t *testing.T) {
+	workload := TraceWorkloads()[0]
+	net := mustNet(t, "sf", 16)
+	base := SessionConfig{Seed: 5, Ops: 400, Sockets: 2, MaxCycles: 3_000_000,
+		Scenario: []ScenarioSpec{ChurnTrace(
+			GateEvent{Cycle: 500, Node: 8, On: false},
+			GateEvent{Cycle: 500, Node: 9, On: false})}}
+	applied := 0
+	coreDiff(t, "trace-churn", func(cfg SessionConfig) any {
+		var snaps []TelemetrySnapshot
+		cfg = cfg.WithTelemetry(512, func(s TelemetrySnapshot) {
+			snaps = append(snaps, s)
+			applied += len(s.Scenario)
+		})
+		res, err := net.NewSession(cfg).Run(TraceWorkload{Workload: workload})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sessionOutput{Result: res, Snaps: snaps}
+	}, base)
+	if applied == 0 {
+		t.Error("trace-churn: schedule applied no events")
+	}
+
+	bad := base
+	bad.Scenario = []ScenarioSpec{DiurnalRate(800, 0.5)}
+	if _, err := net.NewSession(bad).Run(TraceWorkload{Workload: workload}); !errors.Is(err, ErrScenario) {
+		t.Errorf("diurnal on trace replay: err = %v, want ErrScenario", err)
 	}
 }
 

@@ -314,3 +314,49 @@ func TestDistributedSweepReportsProgress(t *testing.T) {
 		time.Sleep(10 * time.Millisecond)
 	}
 }
+
+// TestTraceGatedWorkerInvariance runs the same scenario-scheduled sweep —
+// one open-loop synthetic point and one closed-loop trace point, both
+// under a churn-trace gate schedule — locally and over loopback clusters
+// of one and two workers. The distributed results must equal the local
+// ones exactly: the scenario rides the wire inside the session config and
+// recompiles identically on every worker's rebuilt network.
+func TestTraceGatedWorkerInvariance(t *testing.T) {
+	const nodes = 16
+	cfg := SessionConfig{Warmup: 300, Measure: 900, Ops: 300, Sockets: 2,
+		Window: 8, MaxCycles: 10_000_000, Seed: 1,
+		Scenario: []ScenarioSpec{ChurnTrace(
+			GateEvent{Cycle: 400, Node: 8, On: false},
+			GateEvent{Cycle: 400, Node: 9, On: false})}}
+	points := []Point{
+		{Workload: SyntheticWorkload{Pattern: "uniform"}, Rate: 0.06},
+		{Workload: TraceWorkload{Workload: "grep"}},
+	}
+	reference, err := New(WithNodes(nodes), WithSeed(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := reference.SweepAll(cfg, points, 0)
+	for i, r := range want {
+		if r.Err != nil {
+			t.Fatalf("local point %d errored: %v", i, r.Err)
+		}
+	}
+	for _, workers := range []int{1, 2} {
+		c := startCluster(t, workers, 2)
+		net, err := New(WithNodes(nodes), WithSeed(6), WithCluster(c))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := net.SweepDistributedAll(cfg, points)
+		if len(got) != len(want) {
+			t.Fatalf("%d workers: %d results, want %d", workers, len(got), len(want))
+		}
+		for i := range want {
+			if !reflect.DeepEqual(got[i], want[i]) {
+				t.Errorf("%d workers, point %d differs:\nlocal:       %+v\ndistributed: %+v",
+					workers, i, want[i], got[i])
+			}
+		}
+	}
+}

@@ -31,6 +31,14 @@ var (
 	// tables that make power gating safe.
 	ErrNotReconfigurable = errors.New("stringfigure: design does not support reconfiguration")
 
+	// ErrScenario reports an invalid scenario schedule: an unknown
+	// ScenarioSpec kind, parameters outside their documented ranges, an
+	// illegal combination (two rate-modulating specs, a regeneration
+	// combined with anything else, Scenario alongside Gates), or a
+	// scenario on a design that cannot execute it (regen-s2 anywhere but
+	// s2, rate modulation on a closed-loop trace run).
+	ErrScenario = errors.New("stringfigure: invalid scenario")
+
 	// ErrWorkerLost reports a distributed sweep point abandoned after
 	// repeated worker losses: the point was requeued onto surviving
 	// workers each time its worker disconnected, and exhausted its

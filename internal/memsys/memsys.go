@@ -337,6 +337,19 @@ func (s *System) Results() Results {
 	return r
 }
 
+// Sim exposes the underlying network simulator for sessions that drive
+// the co-simulation themselves — the scheduled (gated) trace path needs
+// the mid-run hooks (SetEscapeRoute, SetLinkLatency) and the cycle
+// counter between Run slices. Mutate it only between slices, on the
+// simulating goroutine.
+func (s *System) Sim() *netsim.Sim { return s.net }
+
+// Done reports whether every socket drained its trace, every read
+// returned, and the network is empty — the completion predicate
+// RunToCompletion polls. Exported for callers that drive Run slices
+// directly.
+func (s *System) Done() bool { return s.allDone() }
+
 // NetResults exposes the underlying network simulator's metric snapshot so
 // callers can report network-side latency and throughput alongside the
 // memory-system summary.

@@ -1554,6 +1554,18 @@ func (s *Sim) SetEscapeRoute(f func(cur, dst int) (next int, escVC int)) {
 	s.InvalidateRoutes()
 }
 
+// SetRate swaps the synthetic injection rate mid-run, keeping the
+// installed pattern — the hook scenario schedules use for diurnal and
+// bursty arrival-rate modulation. Like SetPattern, it restarts the
+// geometric skip-sampling trial sequence, so the next gap draws from the
+// new rate; both cores share the injection path, which keeps cross-core
+// runs bit-identical as long as the swap happens at the same cycle
+// boundary. Call it only between Run slices on the simulating goroutine.
+func (s *Sim) SetRate(rate float64) {
+	s.injRate = rate
+	s.injSkip = -1
+}
+
 // SetLinkLatency swaps the per-link latency function mid-run. Scheduled
 // reconfiguration uses it to charge the wake-up latency of links that were
 // just switched on: the function may consult Cycle() to make a waking link

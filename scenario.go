@@ -1,0 +1,283 @@
+package stringfigure
+
+import (
+	"fmt"
+
+	"repro/internal/netsim"
+	"repro/internal/reconfig"
+	"repro/internal/scenario"
+)
+
+// Scenario kinds — the ScenarioSpec.Kind vocabulary. Each kind has a
+// constructor (ChurnTrace, Churn, FailureStorm, DiurnalRate, BurstyRate,
+// RegenerateS2) that fills the relevant fields.
+const (
+	// ScenarioChurnTrace replays an explicit gate-event list.
+	ScenarioChurnTrace = scenario.KindChurnTrace
+	// ScenarioChurn generates continuous bounded hotplug churn.
+	ScenarioChurn = scenario.KindChurn
+	// ScenarioStorm generates one correlated failure storm.
+	ScenarioStorm = scenario.KindStorm
+	// ScenarioDiurnal modulates the injection rate along a sine wave.
+	ScenarioDiurnal = scenario.KindDiurnal
+	// ScenarioBurst modulates the injection rate with seeded-random bursts.
+	ScenarioBurst = scenario.KindBurst
+	// ScenarioRegenS2 is the S2 regenerate-to-down-scale baseline.
+	ScenarioRegenS2 = scenario.KindRegenS2
+)
+
+// ScenarioSpec is one declarative scenario attached to a session via
+// SessionConfig.Scenario: a compact description (kind + parameters) that
+// the session compiles into a deterministic per-cycle event schedule
+// before the run starts. Compilation is pure — equal specs, seeds and
+// networks always yield byte-identical schedules — and the compiled gate
+// stream obeys the paper's Section VI epoch rules exactly like
+// hand-written SessionConfig.Gates (same-cycle events form one
+// reconfiguration epoch, epochs sit at least the 100 us minimum
+// reconfiguration interval apart, gate-ons defer past the link wake
+// latency).
+//
+// Kind selects the generator; each kind reads its own field subset (see
+// the constructors). Invalid specs surface as ErrScenario when the run
+// starts. The struct serializes to snake_case JSON (the jobsvc JobSpec
+// form) and rides the distributed sweep wire unchanged.
+type ScenarioSpec struct {
+	// Kind selects the scenario generator (the Scenario* constants).
+	Kind string `json:"kind"`
+	// Seed drives the spec's own randomness; 0 derives a deterministic
+	// seed from the session seed and the spec's position.
+	Seed int64 `json:"seed,omitempty"`
+
+	// Start and Stop bound the active window in absolute network cycles
+	// (Stop <= 0 means the end of the run).
+	Start int64 `json:"start,omitempty"`
+	Stop  int64 `json:"stop,omitempty"`
+
+	// Gates is the explicit gate trace (ScenarioChurnTrace).
+	Gates []GateEvent `json:"gates,omitempty"`
+
+	// Every is the churn tick (ScenarioChurn) or the mean burst gap
+	// (ScenarioBurst), in cycles.
+	Every int64 `json:"every,omitempty"`
+	// MaxDown bounds concurrently gated-off nodes (ScenarioChurn,
+	// default 1).
+	MaxDown int `json:"max_down,omitempty"`
+
+	// Center and Radius select the storm region (ScenarioStorm): alive
+	// nodes within circular id-distance Radius of Center. A negative
+	// Center draws a seeded-random center.
+	Center int `json:"center,omitempty"`
+	Radius int `json:"radius,omitempty"`
+	// Recover schedules the storm's gate-ons Recover cycles after Start
+	// (0 leaves the region down for the rest of the run).
+	Recover int64 `json:"recover,omitempty"`
+
+	// Period and Depth shape the diurnal sine (ScenarioDiurnal): the
+	// rate scale swings in [1-Depth, 1+Depth] over Period cycles.
+	Period int64   `json:"period,omitempty"`
+	Depth  float64 `json:"depth,omitempty"`
+
+	// Factor and Length shape bursts (ScenarioBurst): the rate scales by
+	// Factor for Length cycles per burst.
+	Factor float64 `json:"factor,omitempty"`
+	Length int64   `json:"length,omitempty"`
+
+	// Drop and Outage parameterize the S2 regeneration (ScenarioRegenS2):
+	// rebuild the topology at Drop fewer nodes at Start, with injection
+	// silenced for Outage cycles (0 defaults to the minimum
+	// reconfiguration interval).
+	Drop   int   `json:"drop,omitempty"`
+	Outage int64 `json:"outage,omitempty"`
+}
+
+// ChurnTrace replays an explicit gate-event list through the scenario
+// engine: the events are normalized under the same Section VI epoch rules
+// as SessionConfig.Gates, but invalid transitions are filtered rather
+// than rejected — the trace-replay ergonomics for schedules captured from
+// real churn logs.
+func ChurnTrace(gates ...GateEvent) ScenarioSpec {
+	return ScenarioSpec{Kind: ScenarioChurnTrace, Gates: gates}
+}
+
+// Churn generates continuous bounded hotplug churn: every `every` cycles
+// a seeded-random alive node gates off until maxDown nodes are down, then
+// the oldest-down node gates back on — the sustained elasticity workload.
+func Churn(every int64, maxDown int) ScenarioSpec {
+	return ScenarioSpec{Kind: ScenarioChurn, Every: every, MaxDown: maxDown}
+}
+
+// FailureStorm generates one correlated failure storm: every alive node
+// within circular id-distance radius of center gates off at start, and
+// back on recoverAfter cycles later (0 leaves the region down). A
+// negative center draws a seeded-random one.
+func FailureStorm(start int64, center, radius int, recoverAfter int64) ScenarioSpec {
+	return ScenarioSpec{Kind: ScenarioStorm, Start: start, Center: center, Radius: radius, Recover: recoverAfter}
+}
+
+// DiurnalRate modulates the synthetic injection rate along a sine wave:
+// the configured rate scales by 1 + depth*sin over each period,
+// sampled as piecewise-constant steps. Works on every design (rate
+// modulation needs no reconfiguration support).
+func DiurnalRate(period int64, depth float64) ScenarioSpec {
+	return ScenarioSpec{Kind: ScenarioDiurnal, Period: period, Depth: depth}
+}
+
+// BurstyRate modulates the synthetic injection rate with seeded-random
+// bursts: roughly every `every` cycles the rate scales by factor for
+// length cycles. Works on every design.
+func BurstyRate(every, length int64, factor float64) ScenarioSpec {
+	return ScenarioSpec{Kind: ScenarioBurst, Every: every, Length: length, Factor: factor}
+}
+
+// RegenerateS2 is the down-scaling baseline for the non-reconfigurable S2
+// design: at cycle `at` the topology is regenerated with drop fewer nodes
+// (S2 cannot gate nodes off — shrinking it means rebuilding), and
+// injection stays silenced for outage cycles while the rebuild completes
+// (0 defaults to the minimum reconfiguration interval). Contrast with a
+// String Figure FailureStorm, which keeps serving traffic through the
+// transition.
+func RegenerateS2(at int64, drop int, outage int64) ScenarioSpec {
+	return ScenarioSpec{Kind: ScenarioRegenS2, Start: at, Drop: drop, Outage: outage}
+}
+
+// ScenarioEvent is one scenario action a session applied, as stamped into
+// TelemetrySnapshot.Scenario: Kind is "gate-off" or "gate-on" (Node set),
+// "rate" (Rate set to the new effective injection rate), or "regen" (Node
+// set to the regenerated topology's node count). Cycle is the absolute
+// network cycle the action applied at.
+type ScenarioEvent struct {
+	Cycle int64   `json:"cycle"`
+	Kind  string  `json:"kind"`
+	Node  int     `json:"node,omitempty"`
+	Rate  float64 `json:"rate,omitempty"`
+}
+
+// ScenarioEvent kinds.
+const (
+	scenarioEvGateOff = "gate-off"
+	scenarioEvGateOn  = "gate-on"
+	scenarioEvRate    = "rate"
+	scenarioEvRegen   = "regen"
+)
+
+// scenarioRecorder stamps applied scenario events onto the telemetry
+// stream: executors add events as they apply them (on the simulating
+// goroutine, between Run slices), and the wrapped sink attaches every
+// pending event at or before the snapshot's cycle. Purely observational —
+// with no sink attached the recorder is inert.
+type scenarioRecorder struct {
+	events []ScenarioEvent
+	next   int
+}
+
+func (r *scenarioRecorder) add(ev ScenarioEvent) { r.events = append(r.events, ev) }
+
+// wrap attaches the recorder to the config's telemetry sink. offset is
+// added to every snapshot's cycle before matching and delivery — the S2
+// regeneration's phase B runs on a fresh simulator whose clock restarts
+// at zero, and the offset restores absolute run cycles.
+func (r *scenarioRecorder) wrap(cfg SessionConfig, offset int64) SessionConfig {
+	if cfg.onTelemetry == nil || cfg.TelemetryEvery <= 0 {
+		return cfg
+	}
+	inner := cfg.onTelemetry
+	cfg.onTelemetry = func(t TelemetrySnapshot) {
+		t.Cycle += offset
+		for r.next < len(r.events) && r.events[r.next].Cycle <= t.Cycle {
+			t.Scenario = append(t.Scenario, r.events[r.next])
+			r.next++
+		}
+		inner(t)
+	}
+	return cfg
+}
+
+// timing returns the Section VI timing constants: the live network's on
+// the String Figure family, the paper defaults elsewhere (the scenario
+// engine needs them for rate schedules on the baseline designs too).
+func (n *Network) timing() reconfig.Timing {
+	if n.net != nil {
+		return n.net.Timing
+	}
+	return reconfig.DefaultTiming()
+}
+
+// specToInternal lowers the public spec into the scenario package's form.
+func specToInternal(sp ScenarioSpec) scenario.Spec {
+	isp := scenario.Spec{
+		Kind:    sp.Kind,
+		Seed:    sp.Seed,
+		Start:   sp.Start,
+		Stop:    sp.Stop,
+		Every:   sp.Every,
+		MaxDown: sp.MaxDown,
+		Center:  sp.Center,
+		Radius:  sp.Radius,
+		Recover: sp.Recover,
+		Period:  sp.Period,
+		Depth:   sp.Depth,
+		Factor:  sp.Factor,
+		Length:  sp.Length,
+		Drop:    sp.Drop,
+		Outage:  sp.Outage,
+	}
+	for _, g := range sp.Gates {
+		isp.Events = append(isp.Events, scenario.GateEvent(g))
+	}
+	return isp
+}
+
+// compileSpecs compiles public specs against a bare environment with the
+// paper's default Section VI timing and an all-alive mask — the
+// submission-time validation path (jobsvc), which has no live network to
+// compile against. Every spec a live run would reject is rejected here
+// too; the run compiles again over the actual network before executing.
+func compileSpecs(specs []ScenarioSpec, nodes int, total, seed int64) (scenario.Schedule, error) {
+	isp := make([]scenario.Spec, len(specs))
+	for i, sp := range specs {
+		isp[i] = specToInternal(sp)
+	}
+	t := reconfig.DefaultTiming()
+	sch, err := scenario.Compile(isp, scenario.Env{
+		Nodes:       nodes,
+		Total:       total,
+		Seed:        seed,
+		Wake:        int64(t.LinkWakeNs / netsim.CycleNs),
+		MinInterval: int64(t.MinIntervalNs / netsim.CycleNs),
+	})
+	if err != nil {
+		return sch, fmt.Errorf("%w: %v", ErrScenario, err)
+	}
+	return sch, nil
+}
+
+// compileScenario compiles the session's scenario specs against this
+// network into an executable schedule for a run of `total` cycles. All
+// compilation failures wrap ErrScenario.
+func (n *Network) compileScenario(cfg SessionConfig, total int64) (scenario.Schedule, error) {
+	if len(cfg.Gates) > 0 {
+		return scenario.Schedule{}, fmt.Errorf("%w: Scenario and Gates are mutually exclusive (fold the gate list into a churn-trace spec)", ErrScenario)
+	}
+	specs := make([]scenario.Spec, len(cfg.Scenario))
+	for i, sp := range cfg.Scenario {
+		specs[i] = specToInternal(sp)
+	}
+	t := n.timing()
+	env := scenario.Env{
+		Nodes:       n.d.N,
+		Total:       total,
+		Wake:        int64(t.LinkWakeNs / netsim.CycleNs),
+		MinInterval: int64(t.MinIntervalNs / netsim.CycleNs),
+		Seed:        cfg.Seed,
+	}
+	if n.net != nil {
+		n.mu.RLock()
+		env.Alive = n.net.AliveSlice()
+		n.mu.RUnlock()
+	}
+	sch, err := scenario.Compile(specs, env)
+	if err != nil {
+		return scenario.Schedule{}, fmt.Errorf("%w: %v", ErrScenario, err)
+	}
+	return sch, nil
+}

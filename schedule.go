@@ -1,0 +1,656 @@
+package stringfigure
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"repro/internal/memsys"
+	"repro/internal/netsim"
+	"repro/internal/scenario"
+	"repro/internal/traffic"
+)
+
+// This file executes compiled scenario schedules (and the legacy
+// SessionConfig.Gates path, which lowers onto the same machinery): the
+// gateRig shared by gate-scheduled synthetic and trace-driven runs, plus
+// the per-shape executors — runSyntheticScheduled (gates + rates),
+// runSyntheticRated (rate modulation only, any design),
+// runSyntheticRegen (the S2 rebuild baseline) and runTraceScheduled
+// (gates under closed-loop trace replay).
+
+// runToCycle advances the simulator to an absolute cycle with cooperative
+// cancellation, in simChunk slices.
+func runToCycle(ctx context.Context, sim *netsim.Sim, target int64) error {
+	for sim.Cycle() < target {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		step := target - sim.Cycle()
+		if step > simChunk {
+			step = simChunk
+		}
+		sim.Run(step)
+	}
+	return nil
+}
+
+// gateRig is the shared execution machinery of gate-scheduled runs: the
+// validated schedule with the alive mask each phase passes through, the
+// per-phase adjacency and its union (the simulator's physical link set),
+// the link wake-latency charges a gate-off incurs, and the live apply/
+// restore hooks. The caller holds the network's write lock for the rig's
+// whole lifetime — reconfiguration is part of the run, so scheduled runs
+// are exclusive.
+type gateRig struct {
+	n      *Network
+	events []scenario.GateEvent
+	// masks[i] is the alive mask after the first i events; adjs[i] its
+	// adjacency. out is the union adjacency over every phase: all wires
+	// any phase activates exist from cycle 0 (they are pre-provisioned
+	// shortcuts or switched links); which ones carry traffic at any moment
+	// is governed by the live routing tables.
+	masks [][]bool
+	adjs  [][][]int
+	out   [][]int
+	// start is the alive mask on entry (restored on exit); aliveNow tracks
+	// the live mask as events apply, consulted dynamically by injection.
+	start    []bool
+	aliveNow []bool
+	// wake charges links a gate-off switches on (ring healing) their
+	// remaining wake-up latency, keyed by directed link.
+	wakeCycles int64
+	wake       map[[2]int]int64
+	sim        *netsim.Sim
+	rec        *scenarioRecorder
+}
+
+// newGateRig validates the normalized schedule against the live network
+// (the caller holds the write lock) and precomputes every phase's
+// adjacency. Validation matches the documented Gates contract: events
+// must stay in range, never re-apply a node's current state, and never
+// drop the network below two alive nodes.
+func (n *Network) newGateRig(events []scenario.GateEvent, rec *scenarioRecorder) (*gateRig, error) {
+	start := n.net.AliveSlice()
+	cur := append([]bool(nil), start...)
+	masks := [][]bool{start}
+	aliveCount := len(start)
+	for _, a := range start {
+		if !a {
+			aliveCount--
+		}
+	}
+	for _, ev := range events {
+		if ev.Cycle < 0 || ev.Node < 0 || ev.Node >= n.d.N {
+			return nil, fmt.Errorf("%w: gate event %+v", ErrOutOfRange, ev)
+		}
+		if cur[ev.Node] == ev.On {
+			return nil, fmt.Errorf("stringfigure: gate event at cycle %d: node %d already %s",
+				ev.Cycle, ev.Node, map[bool]string{true: "on", false: "off"}[ev.On])
+		}
+		if !ev.On && aliveCount <= 2 {
+			return nil, fmt.Errorf("stringfigure: gate event at cycle %d would drop below two alive nodes", ev.Cycle)
+		}
+		cur[ev.Node] = ev.On
+		if ev.On {
+			aliveCount++
+		} else {
+			aliveCount--
+		}
+		masks = append(masks, append([]bool(nil), cur...))
+	}
+
+	adjs := make([][][]int, len(masks))
+	union := make([]map[int]bool, n.d.Routers)
+	for i := range union {
+		union[i] = make(map[int]bool)
+	}
+	for mi, m := range masks {
+		adjs[mi] = n.net.AdjacencyFor(m)
+		for u, nbrs := range adjs[mi] {
+			for _, v := range nbrs {
+				union[u][v] = true
+			}
+		}
+	}
+	out := make([][]int, n.d.Routers)
+	for u, set := range union {
+		nbrs := make([]int, 0, len(set))
+		for v := range set {
+			nbrs = append(nbrs, v)
+		}
+		sort.Ints(nbrs)
+		out[u] = nbrs
+	}
+	return &gateRig{
+		n:          n,
+		events:     events,
+		masks:      masks,
+		adjs:       adjs,
+		out:        out,
+		start:      start,
+		aliveNow:   start,
+		wakeCycles: int64(n.net.Timing.LinkWakeNs / netsim.CycleNs),
+		wake:       make(map[[2]int]int64),
+		rec:        rec,
+	}, nil
+}
+
+// escapeFor builds the escape function for an alive mask. It declines
+// packets whose destination is gated off (returning a non-link): they are
+// permanently undeliverable, and the simulator drops them as unroutable —
+// letting them commit to the escape ring instead would have them
+// circulate forever, eventually clogging the escape channels and wedging
+// the whole network.
+func (r *gateRig) escapeFor(alive []bool) func(cur, dst int) (int, int) {
+	ring := netsim.RingEscape(r.n.d.SF, alive)
+	return func(cur, dst int) (int, int) {
+		if !alive[dst] {
+			return -1, 0
+		}
+		return ring(cur, dst)
+	}
+}
+
+// attach binds the rig to its simulator and installs the wake-aware link
+// latency: flits routed onto a still waking link are charged its
+// remaining wake time, which is the mechanism behind the post-gate-off
+// latency transient the telemetry stream watches.
+func (r *gateRig) attach(sim *netsim.Sim) {
+	r.sim = sim
+	sim.SetLinkLatency(func(u, v int) int {
+		l := netsim.DefaultLinkLatency
+		if until, ok := r.wake[[2]int{u, v}]; ok {
+			if d := until - sim.Cycle(); d > 0 {
+				l += int(d)
+			}
+		}
+		return l
+	})
+}
+
+// everAlive returns the AND of every phase's alive mask: the nodes that
+// stay powered through the whole schedule (where closed-loop runs place
+// memory pages and CPU sockets).
+func (r *gateRig) everAlive() []bool {
+	ever := append([]bool(nil), r.start...)
+	for _, m := range r.masks {
+		for i, a := range m {
+			if !a {
+				ever[i] = false
+			}
+		}
+	}
+	return ever
+}
+
+// apply executes event idx against the live network and simulator:
+// gate the node, swap the escape routes to the new mask, and start the
+// wake clock on links a gate-off switches on (ring healing) — a gate-on
+// was already deferred past its links' wake by normalization.
+func (r *gateRig) apply(idx int) error {
+	ev := r.events[idx]
+	var err error
+	if ev.On {
+		err = r.n.net.GateOn(ev.Node)
+	} else {
+		err = r.n.net.GateOff(ev.Node)
+	}
+	if err != nil {
+		return err
+	}
+	r.aliveNow = r.n.net.AliveSlice()
+	r.sim.SetEscapeRoute(r.escapeFor(r.aliveNow))
+	if !ev.On {
+		old := r.adjs[idx]
+		for u, nbrs := range r.adjs[idx+1] {
+			was := make(map[int]bool, len(old[u]))
+			for _, v := range old[u] {
+				was[v] = true
+			}
+			for _, v := range nbrs {
+				if !was[v] {
+					r.wake[[2]int{u, v}] = r.sim.Cycle() + r.wakeCycles
+				}
+			}
+		}
+	}
+	kind := scenarioEvGateOff
+	if ev.On {
+		kind = scenarioEvGateOn
+	}
+	r.rec.add(ScenarioEvent{Cycle: ev.Cycle, Kind: kind, Node: ev.Node})
+	return nil
+}
+
+// restore puts the starting alive mask back however the run ended: a
+// session run never permanently reconfigures its network.
+func (r *gateRig) restore() {
+	now := r.n.net.AliveSlice()
+	for i := range now {
+		if now[i] != r.start[i] {
+			r.n.net.SetAlive(r.start)
+			return
+		}
+	}
+}
+
+// runSyntheticGated is runSynthetic for the legacy SessionConfig.Gates
+// path: the raw events normalize under the Section VI epoch rules
+// (scenario.Normalize — the same rules compiled scenarios already
+// satisfy) and execute on the scheduled engine.
+func (n *Network) runSyntheticGated(ctx context.Context, cfg SessionConfig, pat traffic.Pattern) (Result, error) {
+	if n.net == nil {
+		return Result{}, fmt.Errorf("%w: gate schedule on %s", ErrNotReconfigurable, n.d.Name)
+	}
+	total := cfg.Warmup + cfg.Measure
+	t := n.net.Timing
+	raw := make([]scenario.GateEvent, len(cfg.Gates))
+	for i, ev := range cfg.Gates {
+		raw[i] = scenario.GateEvent(ev)
+	}
+	events := scenario.Normalize(raw,
+		int64(t.LinkWakeNs/netsim.CycleNs), int64(t.MinIntervalNs/netsim.CycleNs), total)
+	return n.runSyntheticScheduled(ctx, cfg, pat, events, nil)
+}
+
+// runSyntheticScheduled drives one open-loop synthetic run under a
+// compiled schedule: the run takes the network's write lock
+// (reconfiguration is part of the run, so it is exclusive), builds the
+// simulator over the union of the physical wires every phase activates,
+// and applies each gate event to the live routing tables — and each rate
+// event to the injection process — at its cycle. Packets already in
+// flight route around a reconfiguration (or divert to the escape
+// subnetwork, or drop as unroutable), which is exactly the transient the
+// telemetry stream watches.
+func (n *Network) runSyntheticScheduled(ctx context.Context, cfg SessionConfig, pat traffic.Pattern,
+	gates []scenario.GateEvent, rates []scenario.RateEvent) (Result, error) {
+	if n.net == nil {
+		return Result{}, fmt.Errorf("%w: gate schedule on %s", ErrNotReconfigurable, n.d.Name)
+	}
+	total := cfg.Warmup + cfg.Measure
+
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	rec := &scenarioRecorder{}
+	rig, err := n.newGateRig(gates, rec)
+	if err != nil {
+		return Result{}, err
+	}
+
+	simCfg := netsim.SFConfig(n.d.SF, cfg.Seed)
+	simCfg.Out = rig.out
+	simCfg.Alg = n.net.Router
+	simCfg.VCPolicy = n.net.Router.VirtualChannel
+	simCfg.EscapeRoute = rig.escapeFor(rig.start)
+	if cfg.AdaptiveThreshold > 0 {
+		simCfg.AdaptiveThreshold = cfg.AdaptiveThreshold
+	}
+	simCfg.ReferenceCore = cfg.ReferenceCore
+	simCfg.PacketFlits = cfg.PacketFlits
+	wireTelemetry(&simCfg, rec.wrap(cfg, 0), cfg.Rate, nil)
+	sim, err := netsim.New(simCfg)
+	if err != nil {
+		return Result{}, err
+	}
+
+	// Injection liveness follows the schedule: gated nodes neither source
+	// nor sink new traffic from the moment their event applies (aliveNow
+	// is swapped by apply, so the lookup is dynamic).
+	sim.SetPattern(cfg.Rate, n.hostedPattern(pat, func(v int) bool { return rig.aliveNow[v] }))
+	rig.attach(sim)
+	defer rig.restore()
+
+	gi, ri := 0, 0
+	phase := func(limit int64) error {
+		for {
+			next := int64(-1)
+			if gi < len(gates) && gates[gi].Cycle < limit {
+				next = gates[gi].Cycle
+			}
+			if ri < len(rates) && rates[ri].Cycle < limit && (next < 0 || rates[ri].Cycle < next) {
+				next = rates[ri].Cycle
+			}
+			if next < 0 {
+				return runToCycle(ctx, sim, limit)
+			}
+			if err := runToCycle(ctx, sim, next); err != nil {
+				return err
+			}
+			for gi < len(gates) && gates[gi].Cycle == next {
+				if err := rig.apply(gi); err != nil {
+					return err
+				}
+				gi++
+			}
+			for ri < len(rates) && rates[ri].Cycle == next {
+				rate := cfg.Rate * rates[ri].Scale
+				sim.SetRate(rate)
+				rec.add(ScenarioEvent{Cycle: next, Kind: scenarioEvRate, Rate: rate})
+				ri++
+			}
+		}
+	}
+	if err := phase(cfg.Warmup); err != nil {
+		return Result{}, err
+	}
+	sim.ResetStats()
+	if err := phase(total); err != nil {
+		return Result{}, err
+	}
+	return n.syntheticResult(sim.Results(), cfg.Rate), nil
+}
+
+// runSyntheticRated drives one open-loop synthetic run whose schedule
+// only modulates the injection rate (diurnal/bursty scenarios): no
+// reconfiguration happens, so the run works on every design and takes
+// only the read lock, like a plain synthetic run.
+func (n *Network) runSyntheticRated(ctx context.Context, cfg SessionConfig, pat traffic.Pattern,
+	rates []scenario.RateEvent) (Result, error) {
+	total := cfg.Warmup + cfg.Measure
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	rec := &scenarioRecorder{}
+	simCfg := n.snapshotCfg(cfg)
+	simCfg.PacketFlits = cfg.PacketFlits
+	wireTelemetry(&simCfg, rec.wrap(cfg, 0), cfg.Rate, nil)
+	sim, err := netsim.New(simCfg)
+	if err != nil {
+		return Result{}, err
+	}
+	var alive []bool
+	if n.net != nil {
+		alive = n.net.AliveSlice()
+	}
+	sim.SetPattern(cfg.Rate, n.hostedPattern(pat, func(v int) bool {
+		return alive == nil || alive[v]
+	}))
+	ri := 0
+	phase := func(limit int64) error {
+		for ri < len(rates) && rates[ri].Cycle < limit {
+			if err := runToCycle(ctx, sim, rates[ri].Cycle); err != nil {
+				return err
+			}
+			rate := cfg.Rate * rates[ri].Scale
+			sim.SetRate(rate)
+			rec.add(ScenarioEvent{Cycle: rates[ri].Cycle, Kind: scenarioEvRate, Rate: rate})
+			ri++
+		}
+		return runToCycle(ctx, sim, limit)
+	}
+	if err := phase(cfg.Warmup); err != nil {
+		return Result{}, err
+	}
+	sim.ResetStats()
+	if err := phase(total); err != nil {
+		return Result{}, err
+	}
+	return n.syntheticResult(sim.Results(), cfg.Rate), nil
+}
+
+// runSyntheticRegen executes the ScenarioRegenS2 baseline: phase A runs
+// the full-scale S2 topology to the regeneration cycle; the topology is
+// then regenerated at Drop fewer nodes (a fresh seeded build — S2 cannot
+// gate nodes, so down-scaling means rebuilding), and phase B runs the
+// remainder on the new network with injection silenced through the
+// rebuild outage. The measured window stitches both phases together, so
+// the regeneration's outage and warm-cache loss land in the same metrics
+// a String Figure storm is measured by.
+func (n *Network) runSyntheticRegen(ctx context.Context, cfg SessionConfig, patName string,
+	pat traffic.Pattern, rg *scenario.Regen) (Result, error) {
+	if n.d.Name != "s2" {
+		return Result{}, fmt.Errorf("%w: regen-s2 on design %q (the regeneration baseline rebuilds an s2 topology; reconfigurable designs gate nodes in place instead)",
+			ErrScenario, n.d.Name)
+	}
+	if patName == "" {
+		return Result{}, fmt.Errorf("%w: regen-s2 needs a named synthetic pattern (traffic re-derives on the regenerated topology)", ErrScenario)
+	}
+	total := cfg.Warmup + cfg.Measure
+	R := rg.Cycle
+	// Phase A is measured only when the regeneration lands after warm-up;
+	// an earlier regeneration leaves the whole measured window to phase B.
+	measuredA := R > cfg.Warmup
+	rec := &scenarioRecorder{}
+
+	resA, err := func() (netsim.Results, error) {
+		n.mu.RLock()
+		defer n.mu.RUnlock()
+		simCfg := n.snapshotCfg(cfg)
+		simCfg.PacketFlits = cfg.PacketFlits
+		wireTelemetry(&simCfg, rec.wrap(cfg, 0), cfg.Rate, nil)
+		sim, err := netsim.New(simCfg)
+		if err != nil {
+			return netsim.Results{}, err
+		}
+		sim.SetPattern(cfg.Rate, n.hostedPattern(pat, func(int) bool { return true }))
+		if measuredA {
+			if err := runToCycle(ctx, sim, cfg.Warmup); err != nil {
+				return netsim.Results{}, err
+			}
+			sim.ResetStats()
+		}
+		if err := runToCycle(ctx, sim, R); err != nil {
+			return netsim.Results{}, err
+		}
+		return sim.Results(), nil
+	}()
+	if err != nil {
+		return Result{}, err
+	}
+
+	// Regenerate: same design family and ports, Drop fewer nodes, a seed
+	// derived deterministically from the original build.
+	sp := n.spec()
+	sp.Nodes -= rg.Drop
+	sp.Seed += 1 + int64(rg.Drop)
+	sp.Alive = nil
+	n2, err := sp.build()
+	if err != nil {
+		return Result{}, fmt.Errorf("%w: regenerating s2 at %d nodes: %v", ErrScenario, sp.Nodes, err)
+	}
+	patB, err := traffic.NewPattern(patName, n2.Nodes())
+	if err != nil {
+		return Result{}, fmt.Errorf("%w: %v", ErrUnknownPattern, err)
+	}
+	rec.add(ScenarioEvent{Cycle: R, Kind: scenarioEvRegen, Node: n2.Nodes()})
+
+	bTotal := total - R
+	outEnd := rg.Outage
+	if outEnd > bTotal {
+		outEnd = bTotal
+	}
+	resB, err := func() (netsim.Results, error) {
+		n2.mu.RLock()
+		defer n2.mu.RUnlock()
+		simCfg := n2.snapshotCfg(cfg)
+		simCfg.PacketFlits = cfg.PacketFlits
+		// Phase B's simulator clock restarts at zero; the recorder offset
+		// restores absolute run cycles on its snapshots.
+		wireTelemetry(&simCfg, rec.wrap(cfg, R), cfg.Rate, nil)
+		sim, err := netsim.New(simCfg)
+		if err != nil {
+			return netsim.Results{}, err
+		}
+		// Injection stays silenced through the rebuild outage.
+		sim.SetPattern(0, n2.hostedPattern(patB, func(int) bool { return true }))
+		type act struct {
+			cycle int64
+			f     func()
+		}
+		var acts []act
+		if !measuredA && cfg.Warmup-R > 0 {
+			acts = append(acts, act{cfg.Warmup - R, sim.ResetStats})
+		}
+		if outEnd < bTotal {
+			acts = append(acts, act{outEnd, func() {
+				sim.SetRate(cfg.Rate)
+				rec.add(ScenarioEvent{Cycle: R + outEnd, Kind: scenarioEvRate, Rate: cfg.Rate})
+			}})
+		}
+		sort.SliceStable(acts, func(i, j int) bool { return acts[i].cycle < acts[j].cycle })
+		for _, a := range acts {
+			if err := runToCycle(ctx, sim, a.cycle); err != nil {
+				return netsim.Results{}, err
+			}
+			a.f()
+		}
+		if err := runToCycle(ctx, sim, bTotal); err != nil {
+			return netsim.Results{}, err
+		}
+		return sim.Results(), nil
+	}()
+	if err != nil {
+		return Result{}, err
+	}
+
+	res := resB
+	if measuredA {
+		res = mergeNetResults(resA, resB)
+	}
+	return n.syntheticResult(res, cfg.Rate), nil
+}
+
+// mergeNetResults stitches two measured windows into one: counters and
+// latency aggregates sum, histograms merge, occupancy comes from the
+// later window, and the node count stays phase A's (the per-node
+// throughput normalization keeps the original machine size as its
+// denominator, charging the regeneration's capacity loss to throughput).
+func mergeNetResults(a, b netsim.Results) netsim.Results {
+	m := a
+	m.Cycles += b.Cycles
+	m.Injected += b.Injected
+	m.Delivered += b.Delivered
+	m.Dropped += b.Dropped
+	m.Escaped += b.Escaped
+	m.FlitsDelivered += b.FlitsDelivered
+	m.FlitHops += b.FlitHops
+	m.InFlight = b.InFlight
+	m.LatencySum += b.LatencySum
+	m.LatencyHist.Merge(&b.LatencyHist)
+	m.HopHist.Merge(&b.HopHist)
+	if m.MinInjectLatency < 0 || (b.MinInjectLatency >= 0 && b.MinInjectLatency < m.MinInjectLatency) {
+		m.MinInjectLatency = b.MinInjectLatency
+	}
+	m.Deadlocked = m.Deadlocked || b.Deadlocked
+	return m
+}
+
+// traceSliceCycles is the co-simulation slice between event checks on
+// scheduled trace runs, matching the memsys completion-poll granularity.
+const traceSliceCycles = 32
+
+// traceSchedule resolves a closed-loop trace run's gate schedule from
+// Scenario or the legacy Gates list (already normalized under the epoch
+// rules). Rate modulation and regeneration have no closed-loop meaning —
+// offered load emerges from the replay — so those specs reject with
+// ErrScenario.
+func (n *Network) traceSchedule(cfg SessionConfig) ([]scenario.GateEvent, error) {
+	if len(cfg.Scenario) > 0 {
+		sch, err := n.compileScenario(cfg, cfg.MaxCycles)
+		if err != nil {
+			return nil, err
+		}
+		if len(sch.Rates) > 0 || sch.Regen != nil {
+			return nil, fmt.Errorf("%w: rate modulation and regeneration need an open-loop synthetic workload (trace replay is closed-loop)", ErrScenario)
+		}
+		return sch.Gates, nil
+	}
+	if len(cfg.Gates) == 0 {
+		return nil, nil
+	}
+	if n.net == nil {
+		return nil, fmt.Errorf("%w: gate schedule on %s", ErrNotReconfigurable, n.d.Name)
+	}
+	t := n.net.Timing
+	raw := make([]scenario.GateEvent, len(cfg.Gates))
+	for i, ev := range cfg.Gates {
+		raw[i] = scenario.GateEvent(ev)
+	}
+	return scenario.Normalize(raw,
+		int64(t.LinkWakeNs/netsim.CycleNs), int64(t.MinIntervalNs/netsim.CycleNs), cfg.MaxCycles), nil
+}
+
+// runTraceScheduled drives one closed-loop trace run under a gate
+// schedule: memory pages and CPU sockets live on the nodes that stay
+// powered through every phase (gating never strands a socket or a page),
+// the network simulates over the union link set, and gate events apply
+// between co-simulation slices at their scheduled cycles — crossing
+// traffic reroutes around the gated region while the replay keeps
+// running, which is the closed-loop transient the scenario suite
+// measures. Like all scheduled runs it is exclusive (write lock) and
+// restores the starting mask on exit.
+func (n *Network) runTraceScheduled(ctx context.Context, cfg SessionConfig, workload string,
+	events []scenario.GateEvent) (Result, error) {
+	if n.net == nil {
+		return Result{}, fmt.Errorf("%w: gate schedule on %s", ErrNotReconfigurable, n.d.Name)
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	rec := &scenarioRecorder{}
+	rig, err := n.newGateRig(events, rec)
+	if err != nil {
+		return Result{}, err
+	}
+	parts, err := n.buildTraceParts(ctx, cfg, workload, rig.everAlive())
+	if err != nil {
+		return Result{}, err
+	}
+
+	netCfg := netsim.SFConfig(n.d.SF, cfg.Seed)
+	netCfg.Out = rig.out
+	netCfg.Alg = n.net.Router
+	netCfg.VCPolicy = n.net.Router.VirtualChannel
+	netCfg.EscapeRoute = rig.escapeFor(rig.start)
+	if cfg.AdaptiveThreshold > 0 {
+		netCfg.AdaptiveThreshold = cfg.AdaptiveThreshold
+	}
+	netCfg.ReferenceCore = cfg.ReferenceCore
+	var sys *memsys.System
+	wireTelemetry(&netCfg, rec.wrap(cfg, 0), 0, func() int {
+		if sys == nil {
+			return 0
+		}
+		return sys.OutstandingReads()
+	})
+	sys, err = memsys.Build(netCfg, parts.pool, parts.cpuNodes, cfg.Window, parts.traces)
+	if err != nil {
+		return Result{}, err
+	}
+	sys.Ports = n.d.Ports
+	sim := sys.Sim()
+	rig.attach(sim)
+	defer rig.restore()
+
+	pos := 0
+	for !sys.Done() {
+		if err := ctx.Err(); err != nil {
+			return Result{}, err
+		}
+		now := sim.Cycle()
+		if now >= cfg.MaxCycles {
+			return Result{}, fmt.Errorf("stringfigure: %s trace run did not finish in %d cycles",
+				workload, now)
+		}
+		target := cfg.MaxCycles
+		if pos < len(events) && events[pos].Cycle < target {
+			target = events[pos].Cycle
+		}
+		if target > now {
+			step := target - now
+			if step > traceSliceCycles {
+				step = traceSliceCycles
+			}
+			sys.Run(step)
+			if sys.NetResults().Deadlocked {
+				return Result{}, fmt.Errorf("memsys: network deadlocked")
+			}
+		}
+		for pos < len(events) && events[pos].Cycle <= sim.Cycle() {
+			if err := rig.apply(pos); err != nil {
+				return Result{}, err
+			}
+			pos++
+		}
+	}
+	return traceResult(sys), nil
+}

@@ -56,6 +56,13 @@ type JobSpec struct {
 	TelemetryEvery   int64 `json:"telemetry_every,omitempty"`
 	FlowBuckets      int   `json:"flow_buckets,omitempty"`
 	TraceSampleEvery int64 `json:"trace_sample_every,omitempty"`
+
+	// Scenario attaches declarative scenarios to every sweep point:
+	// churn traces, failure storms, diurnal/bursty rate modulation or
+	// the S2 regeneration baseline (see ScenarioSpec; same snake_case
+	// JSON shape). Specs are validated at submission time, so an invalid
+	// scenario rejects the job instead of failing its first point.
+	Scenario []ScenarioSpec `json:"scenario,omitempty"`
 }
 
 // sessionConfig assembles the sweep's base session configuration.
@@ -69,6 +76,7 @@ func (js JobSpec) sessionConfig() SessionConfig {
 		TelemetryEvery:   js.TelemetryEvery,
 		FlowBuckets:      js.FlowBuckets,
 		TraceSampleEvery: js.TraceSampleEvery,
+		Scenario:         js.Scenario,
 	}
 }
 
@@ -116,6 +124,29 @@ func (js JobSpec) validate() error {
 	for i, r := range js.Rates {
 		if r < 0 || math.IsNaN(r) || math.IsInf(r, 0) {
 			return fmt.Errorf("stringfigure: job spec rate %d is %v", i, r)
+		}
+	}
+	if len(js.Scenario) > 0 {
+		// Compile against the run's shape at submission time (the run
+		// compiles again over the live network): warm-up/measure defaults
+		// mirror SessionConfig.fill, trace jobs span MaxCycles.
+		warmup, measure := js.Warmup, js.Measure
+		if warmup <= 0 {
+			warmup = 1000
+		}
+		if measure <= 0 {
+			measure = 4000
+		}
+		total := warmup + measure
+		if js.Trace != "" {
+			total = 40_000_000
+		}
+		sch, err := compileSpecs(js.Scenario, js.Nodes, total, js.Seed)
+		if err != nil {
+			return err
+		}
+		if js.Trace != "" && (len(sch.Rates) > 0 || sch.Regen != nil) {
+			return fmt.Errorf("%w: rate modulation and regeneration need an open-loop synthetic workload (trace replay is closed-loop)", ErrScenario)
 		}
 	}
 	// A derived per-point seed of exactly 0 cannot be pinned through

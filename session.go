@@ -75,6 +75,17 @@ type SessionConfig struct {
 	// restore the starting alive mask on exit. Pair with telemetry to
 	// watch the latency transient a reconfiguration causes.
 	Gates []GateEvent
+	// Scenario attaches declarative scenarios — churn traces, failure
+	// storms, diurnal/bursty rate modulation, the S2 regeneration
+	// baseline — compiled into a deterministic event schedule before the
+	// run starts (see ScenarioSpec and the ChurnTrace/Churn/FailureStorm/
+	// DiurnalRate/BurstyRate/RegenerateS2 constructors). Gate-producing
+	// scenarios follow the same epoch rules, exclusivity and mask-restore
+	// contract as Gates (the two fields are mutually exclusive —
+	// ErrScenario if both are set); rate-modulating scenarios run on any
+	// design under the read lock like a plain run. Invalid specs surface
+	// as ErrScenario when the run starts.
+	Scenario []ScenarioSpec
 
 	// ReferenceCore runs the simulation on the netsim reference core — the
 	// full-scan, per-flit-routing slow path kept for differential testing —
@@ -259,9 +270,25 @@ func runChunked(ctx context.Context, sim *netsim.Sim, cycles int64) error {
 // pattern draws memory-node destinations; concentration maps them to
 // routers: each injecting router picks uniformly among its hosted alive
 // nodes as the source, so concentrated FB/AFB routers represent all their
-// nodes' traffic.
-func (n *Network) runSynthetic(ctx context.Context, cfg SessionConfig, pat traffic.Pattern) (Result, error) {
-	if len(cfg.Gates) > 0 {
+// nodes' traffic. patName is the pattern's rebuildable name ("" for
+// function workloads, which the S2 regeneration scenario rejects —
+// regenerating swaps the node count the traffic draws over).
+func (n *Network) runSynthetic(ctx context.Context, cfg SessionConfig, patName string, pat traffic.Pattern) (Result, error) {
+	if len(cfg.Scenario) > 0 {
+		sch, err := n.compileScenario(cfg, cfg.Warmup+cfg.Measure)
+		if err != nil {
+			return Result{}, err
+		}
+		switch {
+		case sch.Regen != nil:
+			return n.runSyntheticRegen(ctx, cfg, patName, pat, sch.Regen)
+		case len(sch.Gates) > 0:
+			return n.runSyntheticScheduled(ctx, cfg, pat, sch.Gates, sch.Rates)
+		case len(sch.Rates) > 0:
+			return n.runSyntheticRated(ctx, cfg, pat, sch.Rates)
+		}
+		// An empty schedule (every event normalized away) runs plain.
+	} else if len(cfg.Gates) > 0 {
 		return n.runSyntheticGated(ctx, cfg, pat)
 	}
 	n.mu.RLock()
@@ -358,8 +385,12 @@ func (n *Network) syntheticResult(res netsim.Results, rate float64) Result {
 // Memory pages live on alive nodes (gating migrates them), and requests
 // travel at router granularity so the concentrated designs work unchanged.
 func (n *Network) runTrace(ctx context.Context, cfg SessionConfig, workload string) (Result, error) {
-	if len(cfg.Gates) > 0 {
-		return Result{}, fmt.Errorf("stringfigure: gate schedules require a synthetic workload (got trace %q)", workload)
+	events, err := n.traceSchedule(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	if len(events) > 0 {
+		return n.runTraceScheduled(ctx, cfg, workload, events)
 	}
 	n.mu.RLock()
 	defer n.mu.RUnlock()
@@ -367,6 +398,50 @@ func (n *Network) runTrace(ctx context.Context, cfg SessionConfig, workload stri
 	if n.net != nil {
 		alive = n.net.AliveSlice()
 	}
+	parts, err := n.buildTraceParts(ctx, cfg, workload, alive)
+	if err != nil {
+		return Result{}, err
+	}
+	netCfg := n.snapshotCfg(cfg)
+	// The snapshot hook reaches through to the co-simulation for the
+	// memory-side occupancy; sys is assigned before any cycle runs, and
+	// callbacks fire on the simulating goroutine.
+	var sys *memsys.System
+	wireTelemetry(&netCfg, cfg, 0, func() int {
+		if sys == nil {
+			return 0
+		}
+		return sys.OutstandingReads()
+	})
+	sys, err = memsys.Build(netCfg, parts.pool, parts.cpuNodes, cfg.Window, parts.traces)
+	if err != nil {
+		return Result{}, err
+	}
+	sys.Ports = n.d.Ports
+	cycles, done, err := sys.RunToCompletionContext(ctx, cfg.MaxCycles)
+	if err != nil {
+		return Result{}, err
+	}
+	if !done {
+		return Result{}, fmt.Errorf("stringfigure: %s trace run did not finish in %d cycles",
+			workload, cycles)
+	}
+	return traceResult(sys), nil
+}
+
+// traceParts is the precomputed input of one closed-loop co-simulation:
+// the DRAM pool, the socket attachment points and the per-socket traces.
+type traceParts struct {
+	pool     *memnode.Pool
+	cpuNodes []int
+	traces   [][]trace.Op
+}
+
+// buildTraceParts synthesizes the memory layout and per-socket traces of
+// a closed-loop run over the given alive mask (nil = every node; the
+// scheduled path passes the AND of every phase's mask so pages and
+// sockets never land on a node the schedule gates off).
+func (n *Network) buildTraceParts(ctx context.Context, cfg SessionConfig, workload string, alive []bool) (*traceParts, error) {
 	// Memory pages are interleaved over the alive nodes only — gating a
 	// node migrates its pages rather than dropping its traffic.
 	var aliveNodes []int
@@ -376,7 +451,7 @@ func (n *Network) runTrace(ctx context.Context, cfg SessionConfig, workload stri
 		}
 	}
 	if len(aliveNodes) < 2 {
-		return Result{}, fmt.Errorf("%w: trace run needs >= 2 alive nodes, have %d",
+		return nil, fmt.Errorf("%w: trace run needs >= 2 alive nodes, have %d",
 			ErrNodeDead, len(aliveNodes))
 	}
 	// CPU sockets attach to alive routers (the paper attaches processors to
@@ -397,7 +472,7 @@ func (n *Network) runTrace(ctx context.Context, cfg SessionConfig, workload stri
 	}
 	pool, err := memnode.NewPool(n.d.Routers)
 	if err != nil {
-		return Result{}, err
+		return nil, err
 	}
 	amap := memnode.NewAddressMap(len(aliveNodes))
 	traces := make([][]trace.Op, sockets)
@@ -405,15 +480,15 @@ func (n *Network) runTrace(ctx context.Context, cfg SessionConfig, workload stri
 		// Trace synthesis is CPU-heavy (hundreds of thousands of cache
 		// accesses per socket); honor cancellation between sockets too.
 		if err := ctx.Err(); err != nil {
-			return Result{}, err
+			return nil, err
 		}
 		w, err := trace.NewWorkload(workload, amap.CapacityBytes(), cfg.Seed+int64(i))
 		if err != nil {
-			return Result{}, fmt.Errorf("%w: %v", ErrUnknownPattern, err)
+			return nil, fmt.Errorf("%w: %v", ErrUnknownPattern, err)
 		}
 		tr, err := trace.Generate(w, amap, cfg.Ops, cfg.Seed+int64(100+i))
 		if err != nil {
-			return Result{}, err
+			return nil, err
 		}
 		// Ops address alive memory nodes; the network sees their routers.
 		// Instruction gaps compress by the per-socket thread count.
@@ -424,30 +499,12 @@ func (n *Network) runTrace(ctx context.Context, cfg SessionConfig, workload stri
 		}
 		traces[i] = tr.Ops
 	}
-	netCfg := n.snapshotCfg(cfg)
-	// The snapshot hook reaches through to the co-simulation for the
-	// memory-side occupancy; sys is assigned before any cycle runs, and
-	// callbacks fire on the simulating goroutine.
-	var sys *memsys.System
-	wireTelemetry(&netCfg, cfg, 0, func() int {
-		if sys == nil {
-			return 0
-		}
-		return sys.OutstandingReads()
-	})
-	sys, err = memsys.Build(netCfg, pool, cpuNodes, cfg.Window, traces)
-	if err != nil {
-		return Result{}, err
-	}
-	sys.Ports = n.d.Ports
-	cycles, done, err := sys.RunToCompletionContext(ctx, cfg.MaxCycles)
-	if err != nil {
-		return Result{}, err
-	}
-	if !done {
-		return Result{}, fmt.Errorf("stringfigure: %s trace run did not finish in %d cycles",
-			workload, cycles)
-	}
+	return &traceParts{pool: pool, cpuNodes: cpuNodes, traces: traces}, nil
+}
+
+// traceResult assembles the unified Result of one completed closed-loop
+// co-simulation (shared by the plain and gate-scheduled trace paths).
+func traceResult(sys *memsys.System) Result {
 	mres := sys.Results()
 	netRes := sys.NetResults()
 	return Result{
@@ -470,5 +527,5 @@ func (n *Network) runTrace(ctx context.Context, cfg SessionConfig, workload stri
 		DRAMEnergyPJ:     mres.DRAMPJ,
 		TotalEnergyPJ:    mres.TotalPJ,
 		EDP:              mres.EDP,
-	}, nil
+	}
 }

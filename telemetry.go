@@ -2,11 +2,8 @@ package stringfigure
 
 import (
 	"context"
-	"fmt"
-	"sort"
 
 	"repro/internal/netsim"
-	"repro/internal/traffic"
 )
 
 // TelemetrySnapshot is one live interval record streamed out of a running
@@ -56,6 +53,13 @@ type TelemetrySnapshot struct {
 	Links   []LinkSample       `json:"links,omitempty"`
 	Routers []RouterSample     `json:"routers,omitempty"`
 	Trace   []PacketTraceEvent `json:"trace,omitempty"`
+
+	// Scenario holds the scenario events (gate transitions, rate changes,
+	// regenerations) the session applied since the previous snapshot, so
+	// flow heatmaps and NDJSON consumers can attribute damage to its
+	// cause. Empty outside scheduled runs. Rides the dist wire and the
+	// jobsvc stream unchanged.
+	Scenario []ScenarioEvent `json:"scenario,omitempty"`
 }
 
 // FlowSample is one (src bucket, dst bucket) flow's interval delta: the
@@ -120,9 +124,9 @@ type PacketTraceEvent struct {
 // past the end of the run never fires — the starting alive mask is restored
 // on exit either way.
 type GateEvent struct {
-	Cycle int64
-	Node  int
-	On    bool // false gates the node off, true powers it back on
+	Cycle int64 `json:"cycle"`
+	Node  int   `json:"node"`
+	On    bool  `json:"on"` // false gates the node off, true powers it back on
 }
 
 // WithTelemetry returns a copy of the config with a live snapshot sink
@@ -239,267 +243,6 @@ func telemetryOf(ns netsim.Snapshot, rate float64) TelemetrySnapshot {
 		}
 	}
 	return t
-}
-
-// runSyntheticGated is runSynthetic for sessions with a gate schedule: the
-// run takes the network's write lock (reconfiguration is part of the run, so
-// it is exclusive), builds the simulator over the union of the physical
-// wires every phase of the schedule activates, and applies each GateEvent to
-// the live routing tables at its cycle — packets already in flight route
-// around the change (or divert to the escape subnetwork, or drop as
-// unroutable), which is exactly the transient the telemetry stream watches.
-// The starting alive mask is restored on exit: a session run never
-// permanently reconfigures its network.
-func (n *Network) runSyntheticGated(ctx context.Context, cfg SessionConfig, pat traffic.Pattern) (Result, error) {
-	if n.net == nil {
-		return Result{}, fmt.Errorf("%w: gate schedule on %s", ErrNotReconfigurable, n.d.Name)
-	}
-	total := cfg.Warmup + cfg.Measure
-	// Asymmetric timing, after the paper's four-step protocol (Section VI):
-	// gating OFF applies at its scheduled cycle — the node vanishes from
-	// the tables and the healing shortcut wires wake up under live traffic
-	// (the 5 us wake latency is charged on those links, which is what the
-	// GateOff latency transient is made of). Gating ON applies one link
-	// wake latency AFTER its scheduled cycle: a returning node only
-	// rejoins the tables once its links are awake and validated, so
-	// recovery is a clean switch instead of a stall on sleeping links.
-	wakeCycles := int64(n.net.Timing.LinkWakeNs / netsim.CycleNs)
-	events := make([]GateEvent, 0, len(cfg.Gates))
-	for _, ev := range cfg.Gates {
-		if ev.On {
-			ev.Cycle += wakeCycles
-		}
-		events = append(events, ev)
-	}
-	sort.SliceStable(events, func(i, j int) bool { return events[i].Cycle < events[j].Cycle })
-
-	// Minimum reconfiguration spacing (Section VI): events that apply at
-	// one cycle form a single reconfiguration epoch — gating a whole
-	// quadrant at once is one reconfiguration, not eight — and consecutive
-	// epochs must be at least Timing.MinIntervalNs apart (the paper's
-	// 100 us). An epoch scheduled too early is deferred to the earliest
-	// legal cycle; order is preserved, and an epoch deferred past the end
-	// of the run never fires (the starting mask is restored on exit
-	// regardless).
-	minCycles := int64(n.net.Timing.MinIntervalNs / netsim.CycleNs)
-	if len(events) > 0 {
-		// Epoch membership is decided on the cycles as scheduled (after the
-		// gate-on wake shift), before any deferral: events that asked for
-		// one cycle stay together, riding their epoch's deferral as one.
-		prevOrig := events[0].Cycle
-		for i := 1; i < len(events); i++ {
-			orig := events[i].Cycle
-			switch {
-			case orig == prevOrig:
-				events[i].Cycle = events[i-1].Cycle
-			case orig < events[i-1].Cycle+minCycles:
-				events[i].Cycle = events[i-1].Cycle + minCycles
-			}
-			prevOrig = orig
-		}
-	}
-	kept := events[:0]
-	for _, ev := range events {
-		if ev.Cycle < total { // events past the run never fire
-			kept = append(kept, ev)
-		}
-	}
-	events = kept
-
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	start := n.net.AliveSlice()
-
-	// Validate the schedule and collect every alive mask it passes through.
-	cur := append([]bool(nil), start...)
-	masks := [][]bool{start}
-	aliveCount := len(start)
-	for _, a := range start {
-		if !a {
-			aliveCount--
-		}
-	}
-	for _, ev := range events {
-		if ev.Cycle < 0 || ev.Node < 0 || ev.Node >= n.d.N {
-			return Result{}, fmt.Errorf("%w: gate event %+v", ErrOutOfRange, ev)
-		}
-		if cur[ev.Node] == ev.On {
-			return Result{}, fmt.Errorf("stringfigure: gate event at cycle %d: node %d already %s",
-				ev.Cycle, ev.Node, map[bool]string{true: "on", false: "off"}[ev.On])
-		}
-		if !ev.On && aliveCount <= 2 {
-			return Result{}, fmt.Errorf("stringfigure: gate event at cycle %d would drop below two alive nodes", ev.Cycle)
-		}
-		cur[ev.Node] = ev.On
-		if ev.On {
-			aliveCount++
-		} else {
-			aliveCount--
-		}
-		masks = append(masks, append([]bool(nil), cur...))
-	}
-
-	// The simulator's physical link set is the union over every phase: all
-	// wires any phase activates exist from cycle 0 (they are pre-provisioned
-	// shortcuts or switched links); which ones carry traffic at any moment
-	// is governed by the live routing tables.
-	adjs := make([][][]int, len(masks))
-	union := make([]map[int]bool, n.d.Routers)
-	for i := range union {
-		union[i] = make(map[int]bool)
-	}
-	for mi, m := range masks {
-		adjs[mi] = n.net.AdjacencyFor(m)
-		for u, nbrs := range adjs[mi] {
-			for _, v := range nbrs {
-				union[u][v] = true
-			}
-		}
-	}
-	out := make([][]int, n.d.Routers)
-	for u, set := range union {
-		nbrs := make([]int, 0, len(set))
-		for v := range set {
-			nbrs = append(nbrs, v)
-		}
-		sort.Ints(nbrs)
-		out[u] = nbrs
-	}
-
-	// The escape function declines packets whose destination is gated off
-	// (returning a non-link): they are permanently undeliverable, and the
-	// simulator drops them as unroutable — letting them commit to the
-	// escape ring instead would have them circulate forever, eventually
-	// clogging the escape channels and wedging the whole network.
-	escapeFor := func(alive []bool) func(cur, dst int) (int, int) {
-		ring := netsim.RingEscape(n.d.SF, alive)
-		return func(cur, dst int) (int, int) {
-			if !alive[dst] {
-				return -1, 0
-			}
-			return ring(cur, dst)
-		}
-	}
-
-	simCfg := netsim.SFConfig(n.d.SF, cfg.Seed)
-	simCfg.Out = out
-	simCfg.Alg = n.net.Router
-	simCfg.VCPolicy = n.net.Router.VirtualChannel
-	simCfg.EscapeRoute = escapeFor(start)
-	if cfg.AdaptiveThreshold > 0 {
-		simCfg.AdaptiveThreshold = cfg.AdaptiveThreshold
-	}
-	simCfg.ReferenceCore = cfg.ReferenceCore
-	simCfg.PacketFlits = cfg.PacketFlits
-	wireTelemetry(&simCfg, cfg, cfg.Rate, nil)
-	sim, err := netsim.New(simCfg)
-	if err != nil {
-		return Result{}, err
-	}
-
-	// Injection liveness follows the schedule: gated nodes neither source
-	// nor sink new traffic from the moment their event applies (aliveNow is
-	// swapped by apply, so the lookup is dynamic).
-	aliveNow := start
-	sim.SetPattern(cfg.Rate, n.hostedPattern(pat, func(v int) bool { return aliveNow[v] }))
-
-	// Links a gate-OFF switches on (ring healing) take the wake-up latency
-	// before carrying traffic: flits routed onto a still waking link are
-	// charged its remaining wake time, which is the mechanism behind the
-	// post-GateOff latency transient the telemetry stream watches.
-	wake := make(map[[2]int]int64)
-	sim.SetLinkLatency(func(u, v int) int {
-		l := netsim.DefaultLinkLatency
-		if until, ok := wake[[2]int{u, v}]; ok {
-			if d := until - sim.Cycle(); d > 0 {
-				l += int(d)
-			}
-		}
-		return l
-	})
-
-	// Restore the starting mask however the run ends.
-	defer func() {
-		now := n.net.AliveSlice()
-		for i := range now {
-			if now[i] != start[i] {
-				n.net.SetAlive(start)
-				return
-			}
-		}
-	}()
-
-	apply := func(idx int) error {
-		ev := events[idx]
-		var err error
-		if ev.On {
-			err = n.net.GateOn(ev.Node)
-		} else {
-			err = n.net.GateOff(ev.Node)
-		}
-		if err != nil {
-			return err
-		}
-		aliveNow = n.net.AliveSlice()
-		sim.SetEscapeRoute(escapeFor(aliveNow))
-		// Links enabled by a gate-OFF (ring healing) start waking now, under
-		// live traffic; a gate-ON was already deferred past its links' wake.
-		if !ev.On {
-			old := adjs[idx]
-			for u, nbrs := range adjs[idx+1] {
-				was := make(map[int]bool, len(old[u]))
-				for _, v := range old[u] {
-					was[v] = true
-				}
-				for _, v := range nbrs {
-					if !was[v] {
-						wake[[2]int{u, v}] = sim.Cycle() + wakeCycles
-					}
-				}
-			}
-		}
-		return nil
-	}
-	runTo := func(target int64) error {
-		for sim.Cycle() < target {
-			if err := ctx.Err(); err != nil {
-				return err
-			}
-			step := target - sim.Cycle()
-			if step > simChunk {
-				step = simChunk
-			}
-			sim.Run(step)
-		}
-		return nil
-	}
-
-	pos := 0
-	for ; pos < len(events) && events[pos].Cycle < cfg.Warmup; pos++ {
-		if err := runTo(events[pos].Cycle); err != nil {
-			return Result{}, err
-		}
-		if err := apply(pos); err != nil {
-			return Result{}, err
-		}
-	}
-	if err := runTo(cfg.Warmup); err != nil {
-		return Result{}, err
-	}
-	sim.ResetStats()
-	for ; pos < len(events); pos++ {
-		if err := runTo(events[pos].Cycle); err != nil {
-			return Result{}, err
-		}
-		if err := apply(pos); err != nil {
-			return Result{}, err
-		}
-	}
-	if err := runTo(total); err != nil {
-		return Result{}, err
-	}
-
-	return n.syntheticResult(sim.Results(), cfg.Rate), nil
 }
 
 // wireTelemetry connects a session's telemetry sink (if any) to a simulator

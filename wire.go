@@ -156,6 +156,7 @@ type wireSessionConfig struct {
 	FlowBuckets       int
 	TraceSampleEvery  int64
 	Gates             []GateEvent
+	Scenario          []ScenarioSpec
 	ReferenceCore     bool
 }
 
@@ -177,6 +178,7 @@ func cfgToWire(c SessionConfig) wireSessionConfig {
 		FlowBuckets:       c.FlowBuckets,
 		TraceSampleEvery:  c.TraceSampleEvery,
 		Gates:             c.Gates,
+		Scenario:          c.Scenario,
 		ReferenceCore:     c.ReferenceCore,
 	}
 }
@@ -199,6 +201,7 @@ func (w wireSessionConfig) cfg() SessionConfig {
 		FlowBuckets:       w.FlowBuckets,
 		TraceSampleEvery:  w.TraceSampleEvery,
 		Gates:             w.Gates,
+		Scenario:          w.Scenario,
 		ReferenceCore:     w.ReferenceCore,
 	}
 }

@@ -37,7 +37,7 @@ func (w SyntheticWorkload) run(ctx context.Context, s *Session) (Result, error) 
 	if err != nil {
 		return Result{}, fmt.Errorf("%w: %v", ErrUnknownPattern, err)
 	}
-	return s.net.runSynthetic(ctx, s.cfg, pat)
+	return s.net.runSynthetic(ctx, s.cfg, w.Pattern, pat)
 }
 
 // runRaw runs the pattern with a verbatim (unfilled) configuration — the
@@ -48,7 +48,7 @@ func (w SyntheticWorkload) runRaw(n *Network, cfg SessionConfig) (Result, error)
 	if err != nil {
 		return Result{}, fmt.Errorf("%w: %v", ErrUnknownPattern, err)
 	}
-	return n.runSynthetic(context.Background(), cfg, pat)
+	return n.runSynthetic(context.Background(), cfg, w.Pattern, pat)
 }
 
 // Patterns lists the supported SyntheticWorkload pattern names in Table III
@@ -78,7 +78,7 @@ func (w FuncWorkload) run(ctx context.Context, s *Session) (Result, error) {
 	if w.Dest == nil {
 		return Result{}, fmt.Errorf("stringfigure: FuncWorkload.Dest required")
 	}
-	return s.net.runSynthetic(ctx, s.cfg, traffic.Pattern(w.Dest))
+	return s.net.runSynthetic(ctx, s.cfg, "", traffic.Pattern(w.Dest))
 }
 
 // TraceWorkload replays one of the Table IV real workloads ("wordcount",
